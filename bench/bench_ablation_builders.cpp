@@ -1,0 +1,56 @@
+// Ablation (DESIGN.md decision 1): LBVH (hardware-style fast build) vs
+// binned SAH (quality-first build) as the RT acceleration structure.
+// Reports build time, traversal work and end-to-end clustering time, i.e.
+// the build-speed/traversal-quality trade-off behind the paper's §V-D
+// build-time observations.
+//
+//   ./bench_ablation_builders [--scale F] [--reps N]
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/rt_dbscan.hpp"
+#include "data/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtd;
+  const Flags flags(argc, argv);
+  const auto cfg = bench::BenchConfig::from_flags(flags);
+  bench::print_header("Ablation: LBVH vs binned-SAH acceleration structure",
+                      "DESIGN.md decision 1 (build vs traversal trade-off)",
+                      cfg);
+
+  const auto n = cfg.scaled(
+      static_cast<std::size_t>(flags.get_int("n", 60000)));
+
+  Table table({"dataset", "builder", "build(ms)", "SAH cost", "nodes/ray",
+               "total(s)"});
+  for (const auto which :
+       {data::PaperDataset::k3DRoad, data::PaperDataset::kPorto,
+        data::PaperDataset::k3DIono}) {
+    const auto dataset = data::make_paper_dataset(which, n, 2023);
+    const float eps = which == data::PaperDataset::k3DIono ? 2.0f : 0.35f;
+    const dbscan::Params params{eps, 25};
+
+    for (const auto algo :
+         {rt::BuildAlgorithm::kLbvh, rt::BuildAlgorithm::kBinnedSah}) {
+      core::RtDbscanOptions opts;
+      opts.device.build.algorithm = algo;
+      core::RtDbscanResult result;
+      const double total = bench::time_median(cfg.reps, [&] {
+        result = core::rt_dbscan(dataset.points, params, opts);
+      });
+      table.add_row({data::to_string(which), rt::to_string(algo),
+                     Table::num(result.accel_build.build_seconds * 1e3, 2),
+                     Table::num(result.accel_build.sah_cost, 1),
+                     Table::num(result.phase1.nodes_per_ray(), 1),
+                     Table::num(total, 4)});
+    }
+  }
+  if (cfg.csv) {
+    table.print_csv();
+  } else {
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Substrate micro-benchmarks: BVH build and traversal throughput
+// (google-benchmark).  Characterizes the RT-core simulator itself.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "data/generators.hpp"
+#include "geom/ray.hpp"
+#include "rt/bvh.hpp"
+#include "rt/traversal.hpp"
+
+namespace {
+
+using namespace rtd;
+
+std::vector<geom::Aabb> sphere_bounds(std::size_t n, float radius) {
+  const auto dataset = data::taxi_gps(n, 7);
+  std::vector<geom::Aabb> bounds;
+  bounds.reserve(n);
+  for (const auto& p : dataset.points) {
+    bounds.push_back(geom::Aabb::of_sphere(p, radius));
+  }
+  return bounds;
+}
+
+void BM_BuildLbvh(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto bounds = sphere_bounds(n, 0.3f);
+  rt::BuildOptions opts;
+  opts.algorithm = rt::BuildAlgorithm::kLbvh;
+  for (auto _ : state) {
+    auto bvh = rt::build_bvh(bounds, opts);
+    benchmark::DoNotOptimize(bvh.nodes.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BuildLbvh)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_BuildSah(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto bounds = sphere_bounds(n, 0.3f);
+  rt::BuildOptions opts;
+  opts.algorithm = rt::BuildAlgorithm::kBinnedSah;
+  for (auto _ : state) {
+    auto bvh = rt::build_bvh(bounds, opts);
+    benchmark::DoNotOptimize(bvh.nodes.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BuildSah)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_PointQueryTraversal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dataset = data::taxi_gps(n, 7);
+  std::vector<geom::Aabb> bounds;
+  for (const auto& p : dataset.points) {
+    bounds.push_back(geom::Aabb::of_sphere(p, 0.3f));
+  }
+  const auto bvh = rt::build_bvh(bounds, {});
+  rt::TraversalStats stats;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    rt::traverse(
+        bvh, geom::Ray::point_query(dataset.points[q]),
+        [&](std::uint32_t) {
+          ++hits;
+          return rt::TraversalControl::kContinue;
+        },
+        stats);
+    benchmark::DoNotOptimize(hits);
+    q = (q + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointQueryTraversal)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_OverlapQueryTraversal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dataset = data::taxi_gps(n, 7);
+  std::vector<geom::Aabb> bounds;
+  for (const auto& p : dataset.points) {
+    bounds.push_back(geom::Aabb::of_point(p));
+  }
+  const auto bvh = rt::build_bvh(bounds, {});
+  rt::TraversalStats stats;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    rt::traverse_overlap(
+        bvh, geom::Aabb::of_sphere(dataset.points[q], 0.3f),
+        [&](std::uint32_t) {
+          ++hits;
+          return rt::TraversalControl::kContinue;
+        },
+        stats);
+    benchmark::DoNotOptimize(hits);
+    q = (q + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OverlapQueryTraversal)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

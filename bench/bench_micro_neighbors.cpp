@@ -1,0 +1,85 @@
+// Substrate micro-benchmarks: the RT-FindNeighborhood primitive vs grid and
+// brute-force neighbor queries (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "core/rt_find_neighbors.hpp"
+#include "data/generators.hpp"
+#include "dbscan/grid_index.hpp"
+#include "rt/context.hpp"
+
+namespace {
+
+using namespace rtd;
+
+constexpr float kEps = 0.3f;
+
+void BM_RtCountNeighbors(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dataset = data::taxi_gps(n, 7);
+  rt::Context ctx;
+  const auto accel = ctx.build_spheres(dataset.points, kEps);
+  rt::TraversalStats stats;
+  std::uint32_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::rt_count_neighbors(accel, dataset.points[q], q, stats));
+    q = (q + 1) % static_cast<std::uint32_t>(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RtCountNeighbors)->Arg(10000)->Arg(100000);
+
+void BM_GridCountNeighbors(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dataset = data::taxi_gps(n, 7);
+  const dbscan::GridIndex index(dataset.points, kEps);
+  std::uint32_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.count_neighbors(dataset.points[q], kEps));
+    q = (q + 1) % static_cast<std::uint32_t>(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GridCountNeighbors)->Arg(10000)->Arg(100000);
+
+void BM_BruteCountNeighbors(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dataset = data::taxi_gps(n, 7);
+  const float e2 = kEps * kEps;
+  std::uint32_t q = 0;
+  for (auto _ : state) {
+    std::uint32_t count = 0;
+    const auto& qp = dataset.points[q];
+    for (const auto& p : dataset.points) {
+      count += geom::distance_squared(qp, p) <= e2;
+    }
+    benchmark::DoNotOptimize(count);
+    q = (q + 1) % static_cast<std::uint32_t>(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BruteCountNeighbors)->Arg(10000)->Arg(100000);
+
+void BM_RtParallelLaunch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dataset = data::taxi_gps(n, 7);
+  rt::Context ctx;
+  const auto accel = ctx.build_spheres(dataset.points, kEps);
+  std::vector<std::uint32_t> counts(n);
+  for (auto _ : state) {
+    ctx.launch(n, [&](std::size_t i, rt::TraversalStats& st) {
+      counts[i] = core::rt_count_neighbors(
+          accel, dataset.points[i], static_cast<std::uint32_t>(i), st);
+    });
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RtParallelLaunch)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

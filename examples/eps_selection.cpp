@@ -1,0 +1,49 @@
+// Automatic ε selection via the k-distance graph (Ester et al.'s original
+// recipe), computed with the RT-kNN extension, then clustering with the
+// suggestion.  Demonstrates the end-to-end "no magic numbers" workflow.
+//
+//   ./eps_selection [--n 40000] [--k 4]
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "core/kdist.hpp"
+#include "core/rt_dbscan.hpp"
+#include "data/generators.hpp"
+
+int main(int argc, char** argv) {
+  const rtd::Flags flags(argc, argv);
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 40000));
+  const auto k = static_cast<std::uint32_t>(flags.get_int("k", 4));
+
+  const auto dataset = rtd::data::taxi_gps(n);
+  std::printf("eps selection over %zu taxi GPS points (k = %u)\n",
+              dataset.size(), k);
+
+  const auto kd = rtd::core::kdist_graph(dataset.points, k);
+  std::printf("  k-distance graph: max %.4f, knee at rank %zu -> "
+              "suggested eps = %.4f\n",
+              kd.sorted_kdist.front(), kd.knee_index, kd.suggested_eps);
+
+  // Sparkline of the (downsampled) k-distance curve.
+  std::printf("  curve: ");
+  const char* levels = " .:-=+*#%@";
+  const float top = kd.sorted_kdist.front();
+  for (int s = 0; s < 60; ++s) {
+    const std::size_t idx = static_cast<std::size_t>(s) *
+                            (kd.sorted_kdist.size() - 1) / 59;
+    const float v = kd.sorted_kdist[idx] / top;
+    std::printf("%c", levels[static_cast<int>(v * 9.0f)]);
+  }
+  std::printf("\n");
+
+  const auto r =
+      rtd::core::rt_dbscan(dataset.points, {kd.suggested_eps, k + 1});
+  std::printf("  RT-DBSCAN(eps=%.4f, minPts=%u): %u clusters, %zu noise "
+              "(%.1f%%), %.1f ms\n",
+              kd.suggested_eps, k + 1, r.clustering.cluster_count,
+              r.clustering.noise_count(),
+              100.0 * static_cast<double>(r.clustering.noise_count()) /
+                  static_cast<double>(dataset.size()),
+              r.clustering.timings.total_seconds * 1e3);
+  return 0;
+}

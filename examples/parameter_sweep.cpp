@@ -1,0 +1,38 @@
+// Parameter sweep: the §VI-B workflow the paper optimizes for.  A user
+// explores minPts values over a fixed dataset and ε; RtDbscanRunner caches
+// the acceleration structure and neighbor counts, so every run after the
+// first pays only the cluster-formation phase.
+//
+//   ./parameter_sweep [--n 50000] [--eps 0.3]
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/timer.hpp"
+#include "core/rt_dbscan.hpp"
+#include "data/generators.hpp"
+
+int main(int argc, char** argv) {
+  const rtd::Flags flags(argc, argv);
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 50000));
+  const float eps = static_cast<float>(flags.get_double("eps", 0.3));
+
+  const auto dataset = rtd::data::taxi_gps(n);
+  std::printf("minPts sweep over %zu points, eps=%.3f\n", dataset.size(),
+              eps);
+  std::printf("%-8s %-10s %-10s %-12s %-12s\n", "minPts", "clusters",
+              "noise", "run (ms)", "phase1 (ms)");
+
+  rtd::core::RtDbscanRunner runner(dataset.points, eps);
+  for (const std::uint32_t min_pts : {5u, 10u, 20u, 50u, 100u, 200u}) {
+    rtd::Timer t;
+    const auto r = runner.run(min_pts);
+    const double ms = t.millis();
+    std::printf("%-8u %-10u %-10zu %-12.2f %-12.2f\n", min_pts,
+                r.clustering.cluster_count, r.clustering.noise_count(), ms,
+                r.phase1.seconds * 1e3);
+  }
+  std::printf(
+      "\nphase1 cost is paid once: later rows reuse cached neighbor "
+      "counts (the paper's §VI-B full-traversal payoff).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Trajectory hot-spot detection: cluster taxi GPS data (the Porto stand-in)
+// to find pickup/dropoff hotspots.  Uses RT-DBSCAN and reports the densest
+// clusters as hotspots.
+//
+//   ./trajectory_hotspots [--n 80000] [--eps 0.25] [--minpts 50]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "core/rt_dbscan.hpp"
+#include "data/generators.hpp"
+
+int main(int argc, char** argv) {
+  const rtd::Flags flags(argc, argv);
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 80000));
+  const float eps = static_cast<float>(flags.get_double("eps", 0.25));
+  const auto min_pts =
+      static_cast<std::uint32_t>(flags.get_int("minpts", 50));
+
+  const auto dataset = rtd::data::taxi_gps(n);
+  std::printf("Hot-spot detection over %zu taxi GPS points\n",
+              dataset.size());
+
+  const auto r =
+      rtd::core::rt_dbscan(dataset.points, {eps, min_pts});
+  std::printf("  clusters: %u, noise: %zu, cores: %zu (%.1f ms total)\n",
+              r.clustering.cluster_count, r.clustering.noise_count(),
+              r.clustering.core_count(),
+              r.clustering.timings.total_seconds * 1e3);
+
+  // Rank clusters by population; report centroids of the top hotspots.
+  struct Hotspot {
+    std::int32_t id;
+    std::size_t size;
+    rtd::geom::Vec3 centroid;
+  };
+  std::vector<Hotspot> spots(r.clustering.cluster_count);
+  for (std::uint32_t c = 0; c < r.clustering.cluster_count; ++c) {
+    spots[c] = {static_cast<std::int32_t>(c), 0, {}};
+  }
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto l = r.clustering.labels[i];
+    if (l == rtd::dbscan::kNoiseLabel) continue;
+    auto& s = spots[static_cast<std::size_t>(l)];
+    ++s.size;
+    s.centroid += dataset.points[i];
+  }
+  for (auto& s : spots) {
+    if (s.size > 0) s.centroid *= 1.0f / static_cast<float>(s.size);
+  }
+  std::sort(spots.begin(), spots.end(),
+            [](const Hotspot& a, const Hotspot& b) { return a.size > b.size; });
+
+  std::printf("  top hotspots:\n");
+  const std::size_t top = std::min<std::size_t>(spots.size(), 8);
+  for (std::size_t k = 0; k < top; ++k) {
+    std::printf("    #%zu cluster %d: %zu points, centroid (%.2f, %.2f)\n",
+                k + 1, spots[k].id, spots[k].size, spots[k].centroid.x,
+                spots[k].centroid.y);
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself never logs on hot paths; logging is for benchmark
+// harness progress and test diagnostics.  Level is process-global and can be
+// set via the RTD_LOG environment variable (error|warn|info|debug).
+#pragma once
+
+#include <cstdarg>
+
+namespace rtd {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; no-op if `level` is above the current threshold.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define RTD_LOG_INFO(...) ::rtd::logf(::rtd::LogLevel::kInfo, __VA_ARGS__)
+#define RTD_LOG_WARN(...) ::rtd::logf(::rtd::LogLevel::kWarn, __VA_ARGS__)
+#define RTD_LOG_ERROR(...) ::rtd::logf(::rtd::LogLevel::kError, __VA_ARGS__)
+#define RTD_LOG_DEBUG(...) ::rtd::logf(::rtd::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace rtd

@@ -1,0 +1,82 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace rtd {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  return buf;
+}
+
+std::string Table::speedup(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fx", v);
+  return buf;
+}
+
+std::string Table::seconds(double v) {
+  char buf[32];
+  if (v >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", v);
+  } else if (v >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", v * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f us", v * 1e6);
+  }
+  return buf;
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c ? "  " : "",
+                   static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::FILE* out) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, "%s%s", c ? "," : "", cells[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace rtd

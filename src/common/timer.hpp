@@ -1,0 +1,54 @@
+// Wall-clock timing utilities used by the benchmark harnesses and the
+// per-phase breakdown instrumentation in rtdbscan::core.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace rtd {
+
+/// Monotonic wall-clock stopwatch with millisecond/second readouts.
+///
+/// Started on construction; `restart()` re-arms it.  All readouts are
+/// non-destructive so a single timer can be sampled at several checkpoints.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds since construction or last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a caller-owned double on destruction.
+/// Useful for attributing time to named phases without early returns
+/// corrupting the bookkeeping.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink) : sink_(sink) {}
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+  ~ScopedAccumulator() { sink_ += timer_.seconds(); }
+
+ private:
+  double& sink_;
+  Timer timer_;
+};
+
+}  // namespace rtd

@@ -1,0 +1,43 @@
+// rtdbscan public umbrella header.
+//
+// Most users need exactly this:
+//
+//   #include "core/api.hpp"
+//
+//   std::vector<rtd::geom::Vec3> points = ...;        // z = 0 for 2-D data
+//   auto result = rtd::cluster(points, /*eps=*/0.5f, /*min_pts=*/10);
+//   // result.labels[i] in [0, result.cluster_count) or rtd::kNoise
+//
+// For parameter sweeps, baselines, the RT primitive, or the RT device
+// itself, include the specific headers re-exported below.
+#pragma once
+
+#include "core/rt_dbscan.hpp"
+#include "core/rt_find_neighbors.hpp"
+#include "dbscan/core.hpp"
+#include "dbscan/equivalence.hpp"
+
+namespace rtd {
+
+/// Noise label in ClusterResult::labels.
+inline constexpr std::int32_t kNoise = dbscan::kNoiseLabel;
+
+/// Simplified result of cluster().
+struct ClusterResult {
+  std::vector<std::int32_t> labels;
+  std::vector<std::uint8_t> is_core;
+  std::uint32_t cluster_count = 0;
+  double seconds = 0.0;
+};
+
+/// Cluster `points` with RT-DBSCAN using default device options.
+inline ClusterResult cluster(std::span<const geom::Vec3> points, float eps,
+                             std::uint32_t min_pts) {
+  const core::RtDbscanResult r =
+      core::rt_dbscan(points, dbscan::Params{eps, min_pts});
+  return ClusterResult{r.clustering.labels, r.clustering.is_core,
+                       r.clustering.cluster_count,
+                       r.clustering.timings.total_seconds};
+}
+
+}  // namespace rtd

@@ -1,0 +1,75 @@
+#include "core/kdist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rt_knn.hpp"
+
+namespace rtd::core {
+
+std::size_t knee_index_of(std::span<const float> descending) {
+  const std::size_t n = descending.size();
+  if (n < 3) return n == 0 ? 0 : n - 1;
+
+  // Maximum perpendicular distance from the chord connecting the curve's
+  // endpoints ("triangle method").  Works on the descending k-distance
+  // curve because the knee is its point of maximum convexity.
+  const float x0 = 0.0f;
+  const float y0 = descending[0];
+  const float x1 = static_cast<float>(n - 1);
+  const float y1 = descending[n - 1];
+  const float dx = x1 - x0;
+  const float dy = y1 - y0;
+  const float norm = std::sqrt(dx * dx + dy * dy);
+  if (norm <= 0.0f) return n / 2;
+
+  std::size_t best = 0;
+  float best_dist = -1.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float px = static_cast<float>(i) - x0;
+    const float py = descending[i] - y0;
+    const float dist = std::fabs(px * dy - py * dx) / norm;
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  // A (near-)linear curve has no knee; pick the middle deterministically.
+  return best_dist > 1e-12f ? best : n / 2;
+}
+
+KdistResult kdist_graph(std::span<const geom::Vec3> points,
+                        std::uint32_t k) {
+  if (k == 0) throw std::invalid_argument("kdist_graph: k must be >= 1");
+  KdistResult out;
+  out.k = k;
+  if (points.empty()) return out;
+
+  const RtKnnResult knn = rt_knn(points, k);
+  out.sorted_kdist.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out.sorted_kdist[i] = knn.distances_of(i)[k - 1];
+  }
+  std::sort(out.sorted_kdist.begin(), out.sorted_kdist.end(),
+            std::greater<float>());
+
+  // Infinite entries (points with fewer than k finite neighbors) would
+  // flatten the chord; drop them from the knee computation.
+  auto finite_end = std::find_if(
+      out.sorted_kdist.begin(), out.sorted_kdist.end(),
+      [](float v) { return std::isfinite(v); });
+  const std::span<const float> finite(&*finite_end,
+                                      static_cast<std::size_t>(
+                                          out.sorted_kdist.end() -
+                                          finite_end));
+  if (finite.empty()) return out;
+
+  const std::size_t knee = knee_index_of(finite);
+  out.knee_index =
+      static_cast<std::size_t>(finite_end - out.sorted_kdist.begin()) + knee;
+  out.suggested_eps = finite[knee];
+  return out;
+}
+
+}  // namespace rtd::core

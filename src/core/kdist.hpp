@@ -1,0 +1,39 @@
+// k-distance analysis for ε selection.
+//
+// Ester et al. (the original DBSCAN paper) recommend choosing ε from the
+// sorted k-distance graph: plot every point's distance to its k-th nearest
+// neighbor in descending order and take the first "valley" (knee) — points
+// left of the knee are noise, right of it cluster members.  This module
+// computes the graph (with the RT-kNN extension as the backend) and a knee
+// heuristic, used by the examples to auto-suggest ε.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace rtd::core {
+
+struct KdistResult {
+  std::uint32_t k = 0;
+  /// Every point's distance to its k-th nearest neighbor, sorted
+  /// descending (the k-distance graph's y-values).
+  std::vector<float> sorted_kdist;
+  /// Suggested ε: the knee of the graph (maximum-curvature heuristic).
+  float suggested_eps = 0.0f;
+  /// Index of the knee in sorted_kdist (== expected number of noise-ish
+  /// points at the suggested ε).
+  std::size_t knee_index = 0;
+};
+
+/// Compute the k-distance graph of `points`.  k defaults to the classic
+/// 2 * dims heuristic when 0 (pass dims=2 or 3 accordingly).
+KdistResult kdist_graph(std::span<const geom::Vec3> points, std::uint32_t k);
+
+/// Knee of a descending curve via the triangle (maximum distance to chord)
+/// method; returns the index of the knee point.  Exposed for testing.
+std::size_t knee_index_of(std::span<const float> descending);
+
+}  // namespace rtd::core

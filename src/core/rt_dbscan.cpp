@@ -1,0 +1,424 @@
+#include "core/rt_dbscan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "core/rt_find_neighbors.hpp"
+#include "dsu/atomic_disjoint_set.hpp"
+#include "geom/morton.hpp"
+#include "rt/tessellate.hpp"
+
+namespace rtd::core {
+
+const char* to_string(GeometryMode mode) {
+  switch (mode) {
+    case GeometryMode::kSpheres: return "spheres";
+    case GeometryMode::kTriangles: return "triangles";
+  }
+  return "?";
+}
+
+namespace {
+
+using dbscan::Clustering;
+using dbscan::kNoiseLabel;
+using dbscan::Params;
+using geom::Ray;
+using geom::Vec3;
+
+void validate_params(const Params& params) {
+  if (params.eps <= 0.0f) {
+    throw std::invalid_argument("rt_dbscan: eps must be positive");
+  }
+  if (params.min_pts == 0) {
+    throw std::invalid_argument("rt_dbscan: min_pts must be >= 1");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sphere-geometry phases (the paper's default configuration, §III).
+// ---------------------------------------------------------------------------
+
+/// Launch-order permutation: identity, or Morton order of the ray origins
+/// (the RTNN ray-coherence optimization; see RtDbscanOptions).
+std::vector<std::uint32_t> launch_order(std::span<const Vec3> points,
+                                        bool reorder) {
+  std::vector<std::uint32_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0u);
+  if (!reorder || points.empty()) return order;
+  geom::Aabb bounds;
+  for (const auto& p : points) bounds.grow(p);
+  std::vector<std::uint32_t> codes(points.size());
+  parallel_for(points.size(), [&](std::size_t i) {
+    codes[i] = geom::morton3_in(bounds, points[i]);
+  });
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return codes[a] < codes[b];
+                   });
+  return order;
+}
+
+/// Phase 1: one ray per point; count neighbors.  `counts` excludes self.
+rt::LaunchStats phase1_spheres(const rt::Context& ctx,
+                               const rt::SphereAccel& accel,
+                               std::span<const std::uint32_t> order,
+                               std::vector<std::uint32_t>& counts) {
+  const std::size_t n = accel.size();
+  counts.assign(n, 0);
+  return ctx.launch(n, [&](std::size_t ray, rt::TraversalStats& st) {
+    const std::uint32_t i = order[ray];
+    counts[i] = rt_count_neighbors(accel, accel.center(i), i, st);
+  });
+}
+
+/// Phase 2: one ray per core point; concurrent union-find merges (Alg. 3
+/// lines 7-18).  The clustering logic runs inside the Intersection program.
+rt::LaunchStats phase2_spheres(const rt::Context& ctx,
+                               const rt::SphereAccel& accel,
+                               std::span<const std::uint32_t> order,
+                               std::span<const std::uint8_t> is_core,
+                               dsu::AtomicDisjointSet& dsu,
+                               std::span<std::atomic<std::uint8_t>> claimed) {
+  const std::size_t n = accel.size();
+  return ctx.launch(n, [&](std::size_t ray, rt::TraversalStats& st) {
+    const std::uint32_t i = order[ray];
+    if (!is_core[i]) return;  // only core points initiate merges
+    rt_for_neighbors(
+        accel, accel.center(i), i,
+        [&](std::uint32_t j) {
+          if (is_core[j]) {
+            // Core-core merge (Alg. 3 line 10); pairs are seen from both
+            // ends, so do each merge once.
+            if (j > i) dsu.unite(i, j);
+          } else {
+            // Border point: Alg. 3's critical section (lines 12-15) — an
+            // atomic claim guarantees the point joins exactly one cluster.
+            std::uint8_t expected = 0;
+            if (claimed[j].compare_exchange_strong(
+                    expected, 1, std::memory_order_acq_rel)) {
+              dsu.unite(i, j);
+            }
+          }
+        },
+        st);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Triangle-geometry phases (§VI-C): tessellated spheres, hardware triangle
+// tests, hits delivered via AnyHit.  A ray crossing a tessellated sphere can
+// hit more than one of its triangles, so the counting phase deduplicates
+// owners with a per-thread last-ray stamp.
+// ---------------------------------------------------------------------------
+
+struct TriangleQuery {
+  const rt::TriangleAccel& accel;
+  std::span<const Vec3> points;
+  float eps2;
+  float tmax;
+
+  [[nodiscard]] Ray make_ray(const Vec3& q) const {
+    return Ray{q, {0.0f, 0.0f, 1.0f}, 0.0f, tmax};
+  }
+};
+
+struct TriangleThreadCtx {
+  rt::TraversalStats* stats = nullptr;
+  std::vector<std::uint32_t> stamp;  ///< last ray id that counted owner j
+};
+
+rt::LaunchStats phase1_triangles(const TriangleQuery& query,
+                                 std::vector<std::uint32_t>& counts,
+                                 int threads) {
+  const std::size_t n = query.points.size();
+  counts.assign(n, 0);
+  Timer timer;
+  const int t = threads > 0 ? threads : hardware_threads();
+  std::vector<rt::TraversalStats> per_thread(static_cast<std::size_t>(t));
+  {
+    ThreadCountGuard guard(t);
+    parallel_for_ctx(
+        n,
+        [&](std::size_t tid) {
+          TriangleThreadCtx ctx;
+          ctx.stats = &per_thread[tid];
+          ctx.stamp.assign(n, kNoSelf);
+          return ctx;
+        },
+        [&](TriangleThreadCtx& ctx, std::size_t i) {
+          const Vec3 q = query.points[i];
+          const Ray ray = query.make_ray(q);
+          std::uint32_t count = 0;
+          query.accel.trace(
+              ray,
+              [&](std::uint32_t owner, float /*t_hit*/) {
+                // AnyHit program: exact distance filter + self filter +
+                // owner dedup (several triangles of one sphere can be hit).
+                if (owner == i) return;
+                if (ctx.stamp[owner] == static_cast<std::uint32_t>(i)) return;
+                if (geom::distance_squared(q, query.points[owner]) <=
+                    query.eps2) {
+                  ctx.stamp[owner] = static_cast<std::uint32_t>(i);
+                  ++count;
+                }
+              },
+              *ctx.stats);
+          counts[i] = count;
+        });
+  }
+  rt::LaunchStats out;
+  out.seconds = timer.seconds();
+  for (const auto& s : per_thread) out.work += s;
+  return out;
+}
+
+rt::LaunchStats phase2_triangles(const TriangleQuery& query,
+                                 std::span<const std::uint8_t> is_core,
+                                 dsu::AtomicDisjointSet& dsu,
+                                 std::span<std::atomic<std::uint8_t>> claimed,
+                                 int threads) {
+  const std::size_t n = query.points.size();
+  Timer timer;
+  const int t = threads > 0 ? threads : hardware_threads();
+  std::vector<rt::TraversalStats> per_thread(static_cast<std::size_t>(t));
+  {
+    ThreadCountGuard guard(t);
+    parallel_for_ctx(
+        n,
+        [&](std::size_t tid) { return &per_thread[tid]; },
+        [&](rt::TraversalStats* st, std::size_t i) {
+          if (!is_core[i]) return;
+          const Vec3 q = query.points[i];
+          const Ray ray = query.make_ray(q);
+          query.accel.trace(
+              ray,
+              [&](std::uint32_t j, float /*t_hit*/) {
+                if (j == i) return;
+                if (geom::distance_squared(q, query.points[j]) > query.eps2) {
+                  return;
+                }
+                // Union/claim are idempotent, so duplicate triangle hits of
+                // the same owner are harmless here (no dedup needed).
+                if (is_core[j]) {
+                  if (j > i) dsu.unite(static_cast<std::uint32_t>(i), j);
+                } else {
+                  std::uint8_t expected = 0;
+                  if (claimed[j].compare_exchange_strong(
+                          expected, 1, std::memory_order_acq_rel)) {
+                    dsu.unite(static_cast<std::uint32_t>(i), j);
+                  }
+                }
+              },
+              *st);
+        });
+  }
+  rt::LaunchStats out;
+  out.seconds = timer.seconds();
+  for (const auto& s : per_thread) out.work += s;
+  return out;
+}
+
+/// Shared epilogue: core flags from counts, phase 2, label finalization.
+void run_phase2_and_finalize(
+    const Params& params, std::span<const std::uint32_t> counts,
+    RtDbscanResult& result,
+    const std::function<rt::LaunchStats(
+        std::span<const std::uint8_t>, dsu::AtomicDisjointSet&,
+        std::span<std::atomic<std::uint8_t>>)>& phase2) {
+  const std::size_t n = counts.size();
+  Clustering& out = result.clustering;
+
+  // Core test: counts exclude self; the classic |N_eps(p)| >= minPts
+  // includes it (see dbscan/core.hpp).
+  out.is_core.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.is_core[i] = counts[i] + 1 >= params.min_pts ? 1 : 0;
+  }
+
+  dsu::AtomicDisjointSet dsu(n);
+  std::vector<std::atomic<std::uint8_t>> claimed(n);
+  parallel_for(n, [&](std::size_t i) {
+    claimed[i].store(0, std::memory_order_relaxed);
+  });
+
+  result.phase2 = phase2(out.is_core, dsu, claimed);
+
+  dbscan::finalize_labels(
+      n, [&](std::uint32_t x) { return dsu.find(x); }, out.is_core, out);
+}
+
+}  // namespace
+
+RtDbscanResult rt_dbscan(std::span<const Vec3> points, const Params& params,
+                         const RtDbscanOptions& options) {
+  validate_params(params);
+  dbscan::require_finite(points);
+  const std::size_t n = points.size();
+
+  RtDbscanResult result;
+  result.clustering.labels.assign(n, kNoiseLabel);
+  result.clustering.is_core.assign(n, 0);
+  if (n == 0) return result;
+
+  Timer total;
+  const rt::Context ctx(options.device);
+
+  if (options.geometry == GeometryMode::kSpheres) {
+    // Input transformation + hardware BVH build (§III-B).
+    Timer build_timer;
+    const rt::SphereAccel accel = ctx.build_spheres(
+        std::vector<Vec3>(points.begin(), points.end()), params.eps);
+    result.accel_build = accel.build_stats();
+    result.clustering.timings.index_build_seconds = build_timer.seconds();
+
+    const std::vector<std::uint32_t> order =
+        launch_order(points, options.reorder_queries);
+    result.phase1 =
+        phase1_spheres(ctx, accel, order, result.neighbor_counts);
+    result.clustering.timings.core_phase_seconds = result.phase1.seconds;
+
+    run_phase2_and_finalize(
+        params, result.neighbor_counts, result,
+        [&](std::span<const std::uint8_t> is_core,
+            dsu::AtomicDisjointSet& dsu,
+            std::span<std::atomic<std::uint8_t>> claimed) {
+          return phase2_spheres(ctx, accel, order, is_core, dsu, claimed);
+        });
+  } else {
+    Timer build_timer;
+    const rt::TriangleAccel accel = ctx.build_triangles(
+        points, params.eps, options.triangle_subdivisions);
+    result.accel_build = accel.build_stats();
+    result.clustering.timings.index_build_seconds = build_timer.seconds();
+
+    const float inradius = rt::insphere_radius(
+        rt::unit_icosphere(options.triangle_subdivisions));
+    const float scale = params.eps / inradius;  // circumradius of the mesh
+    const TriangleQuery query{accel, points, params.eps_squared(),
+                              1.01f * (params.eps + scale)};
+
+    result.phase1 = phase1_triangles(query, result.neighbor_counts,
+                                     options.device.threads);
+    result.clustering.timings.core_phase_seconds = result.phase1.seconds;
+
+    run_phase2_and_finalize(
+        params, result.neighbor_counts, result,
+        [&](std::span<const std::uint8_t> is_core,
+            dsu::AtomicDisjointSet& dsu,
+            std::span<std::atomic<std::uint8_t>> claimed) {
+          return phase2_triangles(query, is_core, dsu, claimed,
+                                  options.device.threads);
+        });
+  }
+
+  result.clustering.timings.cluster_phase_seconds = result.phase2.seconds;
+  result.clustering.timings.total_seconds = total.seconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// RtDbscanRunner: §VI-B multi-run session with cached neighbor counts.
+// ---------------------------------------------------------------------------
+
+struct RtDbscanRunner::Impl {
+  std::vector<Vec3> points;
+  float eps;
+  RtDbscanOptions options;
+  rt::Context ctx;
+  std::optional<rt::SphereAccel> accel;
+  std::vector<std::uint32_t> order;
+  double accel_build_seconds = 0.0;
+  std::vector<std::uint32_t> counts;
+  rt::LaunchStats phase1_stats;
+  bool counts_cached = false;
+};
+
+RtDbscanRunner::RtDbscanRunner(std::vector<Vec3> points, float eps,
+                               const RtDbscanOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  if (eps <= 0.0f) {
+    throw std::invalid_argument("RtDbscanRunner: eps must be positive");
+  }
+  if (options.geometry != GeometryMode::kSpheres) {
+    throw std::invalid_argument(
+        "RtDbscanRunner: cached re-runs support sphere geometry only");
+  }
+  dbscan::require_finite(points);
+  impl_->points = std::move(points);
+  impl_->eps = eps;
+  impl_->options = options;
+  impl_->ctx = rt::Context(options.device);
+
+  Timer build_timer;
+  impl_->accel.emplace(impl_->ctx.build_spheres(impl_->points, eps));
+  impl_->order = launch_order(impl_->points, options.reorder_queries);
+  impl_->accel_build_seconds = build_timer.seconds();
+}
+
+RtDbscanRunner::~RtDbscanRunner() = default;
+RtDbscanRunner::RtDbscanRunner(RtDbscanRunner&&) noexcept = default;
+RtDbscanRunner& RtDbscanRunner::operator=(RtDbscanRunner&&) noexcept =
+    default;
+
+void RtDbscanRunner::set_eps(float eps) {
+  if (eps <= 0.0f) {
+    throw std::invalid_argument("RtDbscanRunner: eps must be positive");
+  }
+  if (eps == impl_->eps) return;
+  Timer refit_timer;
+  impl_->accel->set_radius(eps);
+  impl_->accel_build_seconds = refit_timer.seconds();
+  impl_->eps = eps;
+  impl_->counts_cached = false;
+  impl_->counts.clear();
+}
+
+bool RtDbscanRunner::counts_cached() const { return impl_->counts_cached; }
+float RtDbscanRunner::eps() const { return impl_->eps; }
+std::size_t RtDbscanRunner::size() const { return impl_->points.size(); }
+
+RtDbscanResult RtDbscanRunner::run(std::uint32_t min_pts) {
+  if (min_pts == 0) {
+    throw std::invalid_argument("RtDbscanRunner: min_pts must be >= 1");
+  }
+  const std::size_t n = impl_->points.size();
+  RtDbscanResult result;
+  result.accel_build = impl_->accel->build_stats();
+  result.clustering.labels.assign(n, kNoiseLabel);
+  result.clustering.is_core.assign(n, 0);
+  if (n == 0) return result;
+
+  Timer total;
+  if (!impl_->counts_cached) {
+    impl_->phase1_stats = phase1_spheres(impl_->ctx, *impl_->accel,
+                                         impl_->order, impl_->counts);
+    impl_->counts_cached = true;
+    result.phase1 = impl_->phase1_stats;
+    result.clustering.timings.index_build_seconds =
+        impl_->accel_build_seconds;
+    result.clustering.timings.core_phase_seconds = result.phase1.seconds;
+  }
+  // Cached runs: phase 1 cost is zero (result.phase1 default-initialized).
+
+  result.neighbor_counts = impl_->counts;
+  const Params params{impl_->eps, min_pts};
+  run_phase2_and_finalize(
+      params, impl_->counts, result,
+      [&](std::span<const std::uint8_t> is_core, dsu::AtomicDisjointSet& dsu,
+          std::span<std::atomic<std::uint8_t>> claimed) {
+        return phase2_spheres(impl_->ctx, *impl_->accel, impl_->order,
+                              is_core, dsu, claimed);
+      });
+  result.clustering.timings.cluster_phase_seconds = result.phase2.seconds;
+  result.clustering.timings.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace rtd::core

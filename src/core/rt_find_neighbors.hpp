@@ -1,0 +1,77 @@
+// RT-FindNeighborhood — the paper's Algorithm 2, as a reusable primitive.
+//
+// Given a sphere acceleration structure (one ε-sphere per data point), a
+// fixed-radius neighbor query for point q reduces to tracing an
+// infinitesimally short ray from q and collecting the spheres whose volume
+// contains the origin.  The Intersection program applies the exact distance
+// filter and drops the self-intersection, exactly as Alg. 2 lines 5-9.
+//
+// This primitive is what RT-DBSCAN is built from, and what the quickstart
+// example exposes directly: any fixed-radius-neighbor algorithm (force
+// graphs, photon mapping, normal estimation...) can use it unchanged.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "rt/scene.hpp"
+
+namespace rtd::core {
+
+/// Sentinel for "the query point is not a member of the dataset" (no
+/// self-intersection to filter).
+inline constexpr std::uint32_t kNoSelf =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Count the dataset points within the accel's radius of q, excluding
+/// `self` (Alg. 2's `q != s` filter).  One ray trace.
+inline std::uint32_t rt_count_neighbors(const rt::SphereAccel& accel,
+                                        const geom::Vec3& q,
+                                        std::uint32_t self,
+                                        rt::TraversalStats& stats) {
+  const geom::Ray ray = geom::Ray::point_query(q);
+  std::uint32_t count = 0;
+  accel.trace(
+      ray,
+      [&](std::uint32_t prim) {
+        // Intersection program: exact test (bounding boxes overshoot the
+        // sphere, and neighboring boxes may contain the origin without the
+        // sphere doing so).
+        if (prim != self && accel.origin_inside(ray, prim)) ++count;
+      },
+      stats);
+  return count;
+}
+
+/// Collect the neighbor ids into `out` (cleared first).  One ray trace.
+inline void rt_collect_neighbors(const rt::SphereAccel& accel,
+                                 const geom::Vec3& q, std::uint32_t self,
+                                 std::vector<std::uint32_t>& out,
+                                 rt::TraversalStats& stats) {
+  const geom::Ray ray = geom::Ray::point_query(q);
+  out.clear();
+  accel.trace(
+      ray,
+      [&](std::uint32_t prim) {
+        if (prim != self && accel.origin_inside(ray, prim)) {
+          out.push_back(prim);
+        }
+      },
+      stats);
+}
+
+/// Visit each neighbor id via callback (no allocation).  One ray trace.
+template <typename F>
+void rt_for_neighbors(const rt::SphereAccel& accel, const geom::Vec3& q,
+                      std::uint32_t self, F&& f, rt::TraversalStats& stats) {
+  const geom::Ray ray = geom::Ray::point_query(q);
+  accel.trace(
+      ray,
+      [&](std::uint32_t prim) {
+        if (prim != self && accel.origin_inside(ray, prim)) f(prim);
+      },
+      stats);
+}
+
+}  // namespace rtd::core

@@ -1,0 +1,309 @@
+#include "data/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rtd::data {
+
+namespace {
+
+using geom::Vec3;
+
+constexpr float kTau = 2.0f * std::numbers::pi_v<float>;
+
+}  // namespace
+
+const char* to_string(PaperDataset d) {
+  switch (d) {
+    case PaperDataset::k3DRoad: return "3DRoad";
+    case PaperDataset::kPorto: return "Porto";
+    case PaperDataset::kNgsim: return "NGSIM";
+    case PaperDataset::k3DIono: return "3DIono";
+  }
+  return "?";
+}
+
+Dataset road_network(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed ^ 0x30d40adULL);
+  Dataset out{"road_network", 2, {}};
+  out.points.reserve(n);
+
+  // Junctions of a random planar road graph over [0,100]^2.
+  const std::size_t n_junctions = std::max<std::size_t>(24, n / 400);
+  std::vector<Vec3> junctions(n_junctions);
+  for (auto& j : junctions) {
+    j = Vec3::xy(rng.uniformf(0.0f, 100.0f), rng.uniformf(0.0f, 100.0f));
+  }
+
+  // Roads: each junction connects to its 2-3 nearest other junctions.
+  struct Edge {
+    Vec3 a, b;
+    float len;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(n_junctions * 3);
+  for (std::size_t i = 0; i < n_junctions; ++i) {
+    // Partial selection of nearest neighbors (n_junctions is small).
+    std::vector<std::pair<float, std::size_t>> dists;
+    dists.reserve(n_junctions - 1);
+    for (std::size_t j = 0; j < n_junctions; ++j) {
+      if (j == i) continue;
+      dists.emplace_back(geom::distance_squared(junctions[i], junctions[j]),
+                         j);
+    }
+    const std::size_t degree = 2 + rng.below(2);  // 2 or 3 roads
+    const std::size_t k = std::min(degree, dists.size());
+    std::partial_sort(dists.begin(),
+                      dists.begin() + static_cast<std::ptrdiff_t>(k),
+                      dists.end());
+    for (std::size_t e = 0; e < k; ++e) {
+      const Vec3& a = junctions[i];
+      const Vec3& b = junctions[dists[e].second];
+      edges.push_back({a, b, geom::distance(a, b)});
+    }
+  }
+
+  // Sample points along roads proportionally to road length, with small
+  // lateral GPS jitter and gentle curvature.
+  float total_len = 0.0f;
+  for (const auto& e : edges) total_len += e.len;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Pick an edge length-weighted.
+    float target = rng.uniformf(0.0f, total_len);
+    std::size_t idx = 0;
+    while (idx + 1 < edges.size() && target > edges[idx].len) {
+      target -= edges[idx].len;
+      ++idx;
+    }
+    const Edge& e = edges[idx];
+    const float t = e.len > 0.0f ? target / e.len : 0.0f;
+    Vec3 p = e.a + (e.b - e.a) * t;
+    // Curvature: sinusoidal offset perpendicular to the road.
+    const Vec3 dir = normalized(e.b - e.a);
+    const Vec3 perp{-dir.y, dir.x, 0.0f};
+    p += perp * (0.35f * std::sin(t * kTau) +
+                 static_cast<float>(rng.normal(0.0, 0.05)));
+    p.z = 0.0f;
+    out.points.push_back(p);
+  }
+  return out;
+}
+
+Dataset taxi_gps(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed ^ 0x9027ULL);
+  Dataset out{"taxi_gps", 2, {}};
+  out.points.reserve(n);
+
+  // Hotspots (airport, station, downtown...): dense Gaussian cores with a
+  // heavy size skew — a few large clusters and many small ones (§V-B).
+  constexpr int kHotspots = 12;
+  Vec3 hot_center[kHotspots];
+  float hot_sigma[kHotspots];
+  float hot_weight[kHotspots];
+  float weight_sum = 0.0f;
+  for (int h = 0; h < kHotspots; ++h) {
+    hot_center[h] =
+        Vec3::xy(rng.uniformf(2.0f, 48.0f), rng.uniformf(2.0f, 48.0f));
+    hot_sigma[h] = rng.uniformf(0.08f, 0.5f);
+    hot_weight[h] = std::pow(2.0f, static_cast<float>(h) * -0.5f);
+    weight_sum += hot_weight[h];
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const float mode = static_cast<float>(rng.uniform());
+    if (mode < 0.55f) {
+      // Hotspot pickup/dropoff.
+      float target = rng.uniformf(0.0f, weight_sum);
+      int h = 0;
+      while (h + 1 < kHotspots && target > hot_weight[h]) {
+        target -= hot_weight[h];
+        ++h;
+      }
+      out.points.push_back(
+          Vec3::xy(hot_center[h].x +
+                       static_cast<float>(rng.normal(0.0, hot_sigma[h])),
+                   hot_center[h].y +
+                       static_cast<float>(rng.normal(0.0, hot_sigma[h]))));
+    } else if (mode < 0.9f) {
+      // Street-grid traffic: snap one coordinate to a grid line.
+      const float gx = 2.0f * static_cast<float>(rng.below(25));
+      const float jitter = static_cast<float>(rng.normal(0.0, 0.03));
+      if (rng.coin()) {
+        out.points.push_back(
+            Vec3::xy(gx + jitter, rng.uniformf(0.0f, 50.0f)));
+      } else {
+        out.points.push_back(
+            Vec3::xy(rng.uniformf(0.0f, 50.0f), gx + jitter));
+      }
+    } else {
+      // Background noise (GPS glitches, rural trips).
+      out.points.push_back(
+          Vec3::xy(rng.uniformf(0.0f, 50.0f), rng.uniformf(0.0f, 50.0f)));
+    }
+  }
+  return out;
+}
+
+Dataset vehicle_trajectories(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed ^ 0x4951ULL);
+  Dataset out{"vehicle_trajectories", 2, {}};
+  out.points.reserve(n);
+
+  // A ~600 m five-lane highway segment in local coordinates (meters-scale
+  // like NGSIM's local_x/local_y).  Vehicles advance along y; x is the lane
+  // center with tiny lateral wander.  Congestion: vehicles frequently stall,
+  // emitting many samples at (nearly) identical coordinates — the coordinate
+  // duplication that makes this dataset "very dense" at tiny ε.
+  constexpr int kLanes = 5;
+  constexpr float kLaneWidth = 3.7f;
+  const std::size_t n_vehicles = std::max<std::size_t>(8, n / 800);
+
+  std::size_t emitted = 0;
+  while (emitted < n) {
+    const int lane = static_cast<int>(rng.below(kLanes));
+    const float lane_x = (static_cast<float>(lane) + 0.5f) * kLaneWidth;
+    float y = rng.uniformf(0.0f, 600.0f);
+    const std::size_t samples =
+        std::min<std::size_t>(n - emitted, n / n_vehicles + 1);
+    float wander = 0.0f;
+    for (std::size_t s = 0; s < samples; ++s) {
+      const bool stalled = rng.uniform() < 0.45;  // congestion
+      if (!stalled) {
+        y += rng.uniformf(0.5f, 3.0f);  // ~0.1 s at highway speed
+        wander = 0.9f * wander + static_cast<float>(rng.normal(0.0, 0.02));
+      }
+      // Stalled samples repeat the exact same coordinates.
+      out.points.push_back(Vec3::xy(lane_x + wander, y));
+      ++emitted;
+      if (emitted >= n) break;
+    }
+  }
+  return out;
+}
+
+Dataset ionosphere3d(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed ^ 0x10030ULL);
+  Dataset out{"ionosphere3d", 3, {}};
+  out.points.reserve(n);
+
+  // GPS receiver stations on a jittered lat/lon grid; each station reports
+  // total electron count (TEC).  TEC is a smooth field: a solar-driven
+  // diurnal band plus storm enhancements, plus measurement noise.  Scaled so
+  // all three axes span comparable ranges (normalized TEC), as DBSCAN on
+  // mixed units requires.
+  const auto tec_field = [&](float lat, float lon) {
+    const float diurnal =
+        30.0f + 25.0f * std::cos((lat - 10.0f) * 0.035f) *
+                    std::sin(lon * 0.02f + 1.3f);
+    const float storm =
+        18.0f * std::exp(-0.002f * ((lat - 35.0f) * (lat - 35.0f) +
+                                    (lon - 60.0f) * (lon - 60.0f) * 0.25f));
+    return diurnal + storm;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Stations cluster over continents: mixture of 6 regional grids.
+    const int region = static_cast<int>(rng.below(6));
+    const float base_lat = -60.0f + 22.0f * static_cast<float>(region);
+    const float lat =
+        base_lat + static_cast<float>(rng.normal(0.0, 8.0));
+    const float lon = rng.uniformf(0.0f, 180.0f);
+    const float tec = tec_field(lat, lon) +
+                      static_cast<float>(rng.normal(0.0, 1.5));
+    out.points.push_back(Vec3{lat, lon, tec});
+  }
+  return out;
+}
+
+Dataset make_paper_dataset(PaperDataset which, std::size_t n,
+                           std::uint64_t seed) {
+  switch (which) {
+    case PaperDataset::k3DRoad: return road_network(n, seed + 1);
+    case PaperDataset::kPorto: return taxi_gps(n, seed + 2);
+    case PaperDataset::kNgsim: return vehicle_trajectories(n, seed + 3);
+    case PaperDataset::k3DIono: return ionosphere3d(n, seed + 4);
+  }
+  throw std::invalid_argument("make_paper_dataset: unknown dataset");
+}
+
+Dataset gaussian_blobs(std::size_t n, int k, float stddev, float extent,
+                       int dims, std::uint64_t seed) {
+  if (k <= 0 || (dims != 2 && dims != 3)) {
+    throw std::invalid_argument("gaussian_blobs: k >= 1 and dims in {2,3}");
+  }
+  Rng rng(seed ^ 0xb10b5ULL);
+  Dataset out{"gaussian_blobs", dims, {}};
+  out.points.reserve(n);
+
+  std::vector<Vec3> centers(static_cast<std::size_t>(k));
+  for (auto& c : centers) {
+    c = Vec3{rng.uniformf(0.0f, extent), rng.uniformf(0.0f, extent),
+             dims == 3 ? rng.uniformf(0.0f, extent) : 0.0f};
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3& c = centers[rng.below(static_cast<std::uint64_t>(k))];
+    out.points.push_back(
+        Vec3{c.x + static_cast<float>(rng.normal(0.0, stddev)),
+             c.y + static_cast<float>(rng.normal(0.0, stddev)),
+             dims == 3 ? c.z + static_cast<float>(rng.normal(0.0, stddev))
+                       : 0.0f});
+  }
+  return out;
+}
+
+Dataset uniform_cube(std::size_t n, float extent, int dims,
+                     std::uint64_t seed) {
+  if (dims != 2 && dims != 3) {
+    throw std::invalid_argument("uniform_cube: dims in {2,3}");
+  }
+  Rng rng(seed ^ 0xc0beULL);
+  Dataset out{"uniform_cube", dims, {}};
+  out.points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.points.push_back(Vec3{rng.uniformf(0.0f, extent),
+                              rng.uniformf(0.0f, extent),
+                              dims == 3 ? rng.uniformf(0.0f, extent) : 0.0f});
+  }
+  return out;
+}
+
+Dataset two_rings(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed ^ 0x2121ULL);
+  Dataset out{"two_rings", 2, {}};
+  out.points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float mode = static_cast<float>(rng.uniform());
+    if (mode < 0.45f) {
+      const float theta = rng.uniformf(0.0f, kTau);
+      const float r = 10.0f + static_cast<float>(rng.normal(0.0, 0.25));
+      out.points.push_back(Vec3::xy(r * std::cos(theta), r * std::sin(theta)));
+    } else if (mode < 0.9f) {
+      const float theta = rng.uniformf(0.0f, kTau);
+      const float r = 4.0f + static_cast<float>(rng.normal(0.0, 0.25));
+      out.points.push_back(Vec3::xy(r * std::cos(theta), r * std::sin(theta)));
+    } else {
+      out.points.push_back(
+          Vec3::xy(rng.uniformf(-14.0f, 14.0f), rng.uniformf(-14.0f, 14.0f)));
+    }
+  }
+  return out;
+}
+
+Dataset single_blob(std::size_t n, float stddev, std::uint64_t seed) {
+  Rng rng(seed ^ 0x51b0bULL);
+  Dataset out{"single_blob", 2, {}};
+  out.points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.points.push_back(
+        Vec3::xy(static_cast<float>(rng.normal(0.0, stddev)),
+                 static_cast<float>(rng.normal(0.0, stddev))));
+  }
+  return out;
+}
+
+}  // namespace rtd::data

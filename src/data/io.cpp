@@ -1,0 +1,112 @@
+#include "data/io.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rtd::data {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  std::strtod(cell.c_str(), &end);
+  return end != cell.c_str() && *end == '\0';
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) {
+    // Trim whitespace.
+    const auto begin = cell.find_first_not_of(" \t\r");
+    const auto end = cell.find_last_not_of(" \t\r");
+    cells.push_back(begin == std::string::npos
+                        ? std::string{}
+                        : cell.substr(begin, end - begin + 1));
+  }
+  return cells;
+}
+
+}  // namespace
+
+void save_csv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_csv: cannot open " + path);
+  out << (dataset.dims == 3 ? "x,y,z\n" : "x,y\n");
+  for (const auto& p : dataset.points) {
+    out << p.x << ',' << p.y;
+    if (dataset.dims == 3) out << ',' << p.z;
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("save_csv: write failed for " + path);
+}
+
+Dataset load_csv(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_csv: cannot open " + path);
+
+  Dataset out{name, 0, {}};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (cells.empty()) continue;
+    if (!looks_numeric(cells[0])) {
+      if (line_no == 1) continue;  // header
+      throw std::runtime_error("load_csv: non-numeric row at line " +
+                               std::to_string(line_no));
+    }
+    if (cells.size() != 2 && cells.size() != 3) {
+      throw std::runtime_error("load_csv: expected 2 or 3 columns at line " +
+                               std::to_string(line_no));
+    }
+    const int row_dims = static_cast<int>(cells.size());
+    if (out.dims == 0) {
+      out.dims = row_dims;
+    } else if (out.dims != row_dims) {
+      throw std::runtime_error("load_csv: inconsistent column count at line " +
+                               std::to_string(line_no));
+    }
+    for (const auto& c : cells) {
+      if (!looks_numeric(c)) {
+        throw std::runtime_error("load_csv: bad number at line " +
+                                 std::to_string(line_no));
+      }
+    }
+    out.points.push_back(geom::Vec3{
+        std::strtof(cells[0].c_str(), nullptr),
+        std::strtof(cells[1].c_str(), nullptr),
+        row_dims == 3 ? std::strtof(cells[2].c_str(), nullptr) : 0.0f});
+  }
+  if (out.dims == 0) out.dims = 2;
+  return out;
+}
+
+void save_labeled_csv(const Dataset& dataset,
+                      std::span<const std::int32_t> labels,
+                      const std::string& path) {
+  if (labels.size() != dataset.points.size()) {
+    throw std::invalid_argument("save_labeled_csv: label count mismatch");
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_labeled_csv: cannot open " + path);
+  out << (dataset.dims == 3 ? "x,y,z,label\n" : "x,y,label\n");
+  for (std::size_t i = 0; i < dataset.points.size(); ++i) {
+    const auto& p = dataset.points[i];
+    out << p.x << ',' << p.y;
+    if (dataset.dims == 3) out << ',' << p.z;
+    out << ',' << labels[i] << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("save_labeled_csv: write failed for " + path);
+  }
+}
+
+}  // namespace rtd::data

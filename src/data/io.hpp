@@ -1,0 +1,28 @@
+// CSV persistence for datasets and clustering results, so examples can hand
+// their output to external plotting tools and users can load their own data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace rtd::data {
+
+/// Write `x,y[,z]` rows (header included).  Throws std::runtime_error on I/O
+/// failure.
+void save_csv(const Dataset& dataset, const std::string& path);
+
+/// Load a dataset from CSV.  Accepts 2 or 3 numeric columns; a header row is
+/// auto-detected and skipped.  Rows with parse errors are rejected with
+/// std::runtime_error (fail-fast beats silently clustering garbage).
+Dataset load_csv(const std::string& path, const std::string& name = "csv");
+
+/// Write `x,y[,z],label` rows for a clustered dataset.
+void save_labeled_csv(const Dataset& dataset,
+                      std::span<const std::int32_t> labels,
+                      const std::string& path);
+
+}  // namespace rtd::data

@@ -1,0 +1,52 @@
+// Clustering-equivalence checking.
+//
+// DBSCAN's output is deterministic on core points (the partition of core
+// points into clusters is unique given eps/minPts) but genuinely ambiguous
+// on border points: a border point within ε of cores from two clusters may
+// legally join either (the paper's Alg. 3 resolves the race with a critical
+// section, i.e. arbitrarily).  Two clusterings are therefore *equivalent*
+// iff:
+//   1. they agree on the core-point set,
+//   2. their core partitions match up to label renaming,
+//   3. they agree on the noise set (noise = non-core with no core in ε,
+//      which is deterministic),
+//   4. every border point is assigned to a cluster that has a core point
+//      within ε of it (validity).
+// This is the acceptance criterion all integration tests enforce against
+// the sequential reference.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "dbscan/core.hpp"
+
+namespace rtd::dbscan {
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  std::string reason;  ///< empty when equivalent; first violation otherwise
+
+  explicit operator bool() const { return equivalent; }
+};
+
+/// Full equivalence check between clusterings `a` and `b` of `points` under
+/// `params` (needed to re-verify border validity geometrically).
+EquivalenceResult check_equivalent(std::span<const geom::Vec3> points,
+                                   const Params& params, const Clustering& a,
+                                   const Clustering& b);
+
+/// Internal-consistency check of a single clustering against the raw data:
+/// core flags match actual ε-neighborhood counts, labels respect
+/// connectivity constraints, noise points have no core neighbor.  Used by
+/// property tests to validate an implementation without a reference run.
+EquivalenceResult check_valid(std::span<const geom::Vec3> points,
+                              const Params& params, const Clustering& c);
+
+/// Adjusted Rand Index between two label vectors (noise treated as its own
+/// cluster).  1.0 = identical partitions; ~0 = random agreement.  Reported
+/// by benches as a soft similarity metric.
+double adjusted_rand_index(std::span<const std::int32_t> a,
+                           std::span<const std::int32_t> b);
+
+}  // namespace rtd::dbscan

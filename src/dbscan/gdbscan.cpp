@@ -1,0 +1,140 @@
+#include "dbscan/gdbscan.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+
+namespace rtd::dbscan {
+
+GdbscanResult gdbscan(std::span<const geom::Vec3> points, const Params& params,
+                      const GdbscanOptions& options) {
+  if (params.eps <= 0.0f) {
+    throw std::invalid_argument("gdbscan: eps must be positive");
+  }
+  if (params.min_pts == 0) {
+    throw std::invalid_argument("gdbscan: min_pts must be >= 1");
+  }
+  require_finite(points);
+
+  const std::size_t n = points.size();
+  GdbscanResult result;
+  Clustering& out = result.clustering;
+  out.labels.assign(n, kNoiseLabel);
+  out.is_core.assign(n, 0);
+  if (n == 0) return result;
+
+  const int threads =
+      options.threads > 0 ? options.threads : hardware_threads();
+  ThreadCountGuard guard(threads);
+  const float eps2 = params.eps_squared();
+
+  Timer total;
+  Timer phase;
+
+  // Pass 1 (GPU kernel "vertices degree calculation"): brute-force degree
+  // count per point.  Degrees include the point itself.
+  std::vector<std::uint32_t> degree(n, 0);
+  parallel_for(n, [&](std::size_t i) {
+    const geom::Vec3 q = points[i];
+    std::uint32_t d = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (geom::distance_squared(q, points[j]) <= eps2) ++d;
+    }
+    degree[i] = d;
+  });
+
+  // Exclusive scan for CSR offsets ("adjacency lists start indices").
+  std::vector<std::uint64_t> offset(n + 1, 0);
+  std::partial_sum(degree.begin(), degree.end(), offset.begin() + 1);
+  const std::uint64_t edges = offset[n];
+  result.edge_count = edges;
+  result.graph_bytes = edges * sizeof(std::uint32_t) +
+                       (n + 1) * sizeof(std::uint64_t);
+  if (result.graph_bytes > options.memory_budget_bytes) {
+    // The paper: "both G-DBSCAN and CUDA-DClust+ ran out of memory on our
+    // GPU for more than 100K points."
+    throw DeviceMemoryError(result.graph_bytes, options.memory_budget_bytes);
+  }
+
+  // Pass 2 ("adjacency lists assembly"): brute force again, writing ids.
+  std::vector<std::uint32_t> adjacency(edges);
+  parallel_for(n, [&](std::size_t i) {
+    const geom::Vec3 q = points[i];
+    std::uint64_t w = offset[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (geom::distance_squared(q, points[j]) <= eps2) {
+        adjacency[w++] = static_cast<std::uint32_t>(j);
+      }
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    out.is_core[i] = degree[i] >= params.min_pts ? 1 : 0;
+  }
+  result.distance_tests =
+      2ull * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+  result.graph_build_seconds = phase.seconds();
+
+  // Cluster identification: level-synchronous parallel BFS from each
+  // yet-unlabeled core point; only core points expand the frontier, border
+  // points are absorbed but not expanded.
+  phase.restart();
+  std::vector<std::atomic<std::uint8_t>> visited(n);
+  parallel_for(n, [&](std::size_t i) {
+    visited[i].store(0, std::memory_order_relaxed);
+  });
+
+  std::int32_t next_cluster = 0;
+  std::vector<std::uint32_t> frontier;
+  std::vector<std::vector<std::uint32_t>> next_buffers(
+      static_cast<std::size_t>(threads));
+
+  for (std::uint32_t seed = 0; seed < n; ++seed) {
+    if (!out.is_core[seed]) continue;
+    if (visited[seed].load(std::memory_order_relaxed)) continue;
+    visited[seed].store(1, std::memory_order_relaxed);
+
+    const std::int32_t cluster = next_cluster++;
+    out.labels[seed] = cluster;
+    frontier.assign(1, seed);
+
+    while (!frontier.empty()) {
+      ++result.bfs_levels;
+      for (auto& buf : next_buffers) buf.clear();
+      parallel_for_ctx(
+          frontier.size(),
+          [&](std::size_t tid) { return &next_buffers[tid]; },
+          [&](std::vector<std::uint32_t>* next, std::size_t fi) {
+            const std::uint32_t v = frontier[fi];
+            if (!out.is_core[v]) return;  // border: absorbed, not expanded
+            for (std::uint64_t e = offset[v]; e < offset[v + 1]; ++e) {
+              const std::uint32_t u = adjacency[e];
+              std::uint8_t expected = 0;
+              if (visited[u].compare_exchange_strong(
+                      expected, 1, std::memory_order_acq_rel)) {
+                out.labels[u] = cluster;
+                next->push_back(u);
+              }
+            }
+          });
+      frontier.clear();
+      for (const auto& buf : next_buffers) {
+        frontier.insert(frontier.end(), buf.begin(), buf.end());
+      }
+    }
+  }
+
+  // BFS visits border points from whichever cluster reaches them first; any
+  // remaining unvisited non-core points are noise (labels already -1).
+  out.cluster_count = static_cast<std::uint32_t>(next_cluster);
+  result.bfs_seconds = phase.seconds();
+  out.timings.index_build_seconds = result.graph_build_seconds;
+  out.timings.cluster_phase_seconds = result.bfs_seconds;
+  out.timings.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace rtd::dbscan

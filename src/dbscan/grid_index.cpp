@@ -1,0 +1,57 @@
+#include "dbscan/grid_index.hpp"
+
+#include <stdexcept>
+
+#include "geom/aabb.hpp"
+
+namespace rtd::dbscan {
+
+GridIndex::GridIndex(std::span<const geom::Vec3> points, float cell_size)
+    : points_(points), cell_(cell_size) {
+  if (cell_size <= 0.0f) {
+    throw std::invalid_argument("GridIndex: cell_size must be positive");
+  }
+  if (points.empty()) return;
+
+  geom::Aabb bounds;
+  for (const auto& p : points) bounds.grow(p);
+  origin_ = bounds.lo;
+
+  // Two-pass CSR build: count per cell, then fill.
+  std::vector<std::uint64_t> keys(points.size());
+  cell_of_.reserve(points.size() / 2);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto [cx, cy, cz] = cell_coords(points[i]);
+    keys[i] = key(cx, cy, cz);
+    ++cell_of_[keys[i]].count;
+  }
+  std::uint32_t offset = 0;
+  for (auto& [k, range] : cell_of_) {
+    range.first = offset;
+    offset += range.count;
+    range.count = 0;  // reused as fill cursor
+  }
+  cell_points_.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    CellRange& range = cell_of_[keys[i]];
+    cell_points_[range.first + range.count] =
+        static_cast<std::uint32_t>(i);
+    ++range.count;
+  }
+}
+
+std::vector<std::uint32_t> GridIndex::neighbors(const geom::Vec3& q,
+                                                float radius) const {
+  std::vector<std::uint32_t> out;
+  for_neighbors(q, radius, [&](std::uint32_t id) { out.push_back(id); });
+  return out;
+}
+
+std::uint32_t GridIndex::count_neighbors(const geom::Vec3& q,
+                                         float radius) const {
+  std::uint32_t count = 0;
+  for_neighbors(q, radius, [&](std::uint32_t) { ++count; });
+  return count;
+}
+
+}  // namespace rtd::dbscan

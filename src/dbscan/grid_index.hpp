@@ -1,0 +1,98 @@
+// Uniform-grid spatial index.
+//
+// The substrate behind the sequential reference DBSCAN and our CUDA-DClust+
+// port (which uses a grid index structure on the GPU).  Cells have side
+// `cell_size` (callers use ε); an ε-neighborhood query only needs to examine
+// the 3^dims cells around the query point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace rtd::dbscan {
+
+class GridIndex {
+ public:
+  /// Build over `points` with the given cell edge length.
+  GridIndex(std::span<const geom::Vec3> points, float cell_size);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] float cell_size() const { return cell_; }
+  [[nodiscard]] std::size_t cell_count() const { return cell_of_.size(); }
+
+  /// Invoke f(point_id) for every point in the one-ring (3^3) cells around
+  /// q, WITHOUT the exact distance filter — the raw candidate set a grid
+  /// query examines.  Exposed so callers (CUDA-DClust+ port, benches) can
+  /// count the distance tests a device would execute.
+  template <typename F>
+  void for_candidates(const geom::Vec3& q, F&& f) const {
+    const auto [cx, cy, cz] = cell_coords(q);
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const auto it = cell_of_.find(key(cx + dx, cy + dy, cz + dz));
+          if (it == cell_of_.end()) continue;
+          const auto [first, count] = it->second;
+          for (std::uint32_t k = first; k < first + count; ++k) {
+            f(cell_points_[k]);
+          }
+        }
+      }
+    }
+  }
+
+  /// Invoke f(point_id) for every point with distance(q, point) <= radius.
+  /// `radius` must be <= cell_size (one-ring guarantee).
+  template <typename F>
+  void for_neighbors(const geom::Vec3& q, float radius, F&& f) const {
+    const float r2 = radius * radius;
+    for_candidates(q, [&](std::uint32_t id) {
+      if (geom::distance_squared(q, points_[id]) <= r2) f(id);
+    });
+  }
+
+  /// Materialized neighbor list (used by the sequential reference, which
+  /// follows Algorithm 1's explicit NeighborSet).
+  [[nodiscard]] std::vector<std::uint32_t> neighbors(const geom::Vec3& q,
+                                                     float radius) const;
+
+  /// Count of points within `radius` of q.
+  [[nodiscard]] std::uint32_t count_neighbors(const geom::Vec3& q,
+                                              float radius) const;
+
+ private:
+  struct CellRange {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+  };
+
+  [[nodiscard]] std::tuple<std::int64_t, std::int64_t, std::int64_t>
+  cell_coords(const geom::Vec3& p) const {
+    const auto c = [&](float v, float lo) {
+      return static_cast<std::int64_t>((v - lo) / cell_);
+    };
+    return {c(p.x, origin_.x), c(p.y, origin_.y), c(p.z, origin_.z)};
+  }
+
+  [[nodiscard]] static std::uint64_t key(std::int64_t x, std::int64_t y,
+                                         std::int64_t z) {
+    // 21 bits per axis, offset to keep coordinates non-negative.
+    constexpr std::int64_t kBias = 1 << 20;
+    return (static_cast<std::uint64_t>(x + kBias) << 42) |
+           (static_cast<std::uint64_t>(y + kBias) << 21) |
+           static_cast<std::uint64_t>(z + kBias);
+  }
+
+  std::span<const geom::Vec3> points_;
+  float cell_;
+  geom::Vec3 origin_;
+  std::unordered_map<std::uint64_t, CellRange> cell_of_;
+  std::vector<std::uint32_t> cell_points_;  ///< CSR payload
+};
+
+}  // namespace rtd::dbscan

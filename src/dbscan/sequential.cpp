@@ -1,0 +1,90 @@
+#include "dbscan/sequential.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "dbscan/grid_index.hpp"
+
+namespace rtd::dbscan {
+
+Clustering sequential_dbscan(std::span<const geom::Vec3> points,
+                             const Params& params) {
+  if (params.eps <= 0.0f) {
+    throw std::invalid_argument("sequential_dbscan: eps must be positive");
+  }
+  if (params.min_pts == 0) {
+    throw std::invalid_argument("sequential_dbscan: min_pts must be >= 1");
+  }
+  require_finite(points);
+
+  const std::size_t n = points.size();
+  Clustering out;
+  out.labels.assign(n, kNoiseLabel);
+  out.is_core.assign(n, 0);
+  if (n == 0) return out;
+
+  Timer total;
+  Timer phase;
+  GridIndex index(points, params.eps);
+  out.timings.index_build_seconds = phase.seconds();
+
+  // Algorithm 1 interleaves core detection with expansion; we track the
+  // "assigned" state via labels (kNoiseLabel doubles as UNASSIGNED until a
+  // point is claimed or definitively classified).
+  phase.restart();
+  constexpr std::int32_t kUnassigned = kNoiseLabel;
+  std::vector<bool> visited(n, false);
+  std::int32_t next_cluster = 0;
+
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (visited[p]) continue;
+    visited[p] = true;
+
+    // Line 2: Neighbors <- FindNeighbors(p).  Includes p itself.
+    std::vector<std::uint32_t> neighbors =
+        index.neighbors(points[p], params.eps);
+    if (neighbors.size() < params.min_pts) {
+      continue;  // Lines 3-4: p <- NOISE (labels already kNoiseLabel)
+    }
+
+    // Lines 5-6: new cluster seeded at core point p.
+    const std::int32_t cluster = next_cluster++;
+    out.labels[p] = cluster;
+    out.is_core[p] = 1;
+
+    // Lines 7-16: expand through the neighbor set (breadth-first worklist).
+    std::deque<std::uint32_t> work(neighbors.begin(), neighbors.end());
+    while (!work.empty()) {
+      const std::uint32_t q = work.front();
+      work.pop_front();
+      if (q == p) continue;
+
+      // Line 9-11: unassigned or noise neighbors join the cluster.
+      if (out.labels[q] == kUnassigned) {
+        out.labels[q] = cluster;
+      }
+      if (visited[q]) continue;
+      visited[q] = true;
+
+      // Lines 11-14: expand through q if q is itself a core point.
+      std::vector<std::uint32_t> q_neighbors =
+          index.neighbors(points[q], params.eps);
+      if (q_neighbors.size() >= params.min_pts) {
+        out.is_core[q] = 1;
+        out.labels[q] = cluster;  // core points always belong to the cluster
+        work.insert(work.end(), q_neighbors.begin(), q_neighbors.end());
+      }
+    }
+  }
+
+  out.cluster_count = static_cast<std::uint32_t>(next_cluster);
+  // Algorithm 1 has no phase split; attribute all clustering work to the
+  // core phase so PhaseTimings totals stay comparable.
+  out.timings.core_phase_seconds = phase.seconds();
+  out.timings.total_seconds = total.seconds();
+  return out;
+}
+
+}  // namespace rtd::dbscan

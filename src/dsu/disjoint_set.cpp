@@ -1,0 +1,53 @@
+#include "dsu/disjoint_set.hpp"
+
+#include <numeric>
+
+namespace rtd::dsu {
+
+DisjointSet::DisjointSet(std::size_t n)
+    : parent_(n), rank_(n, 0), size_(n, 1), set_count_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+std::uint32_t DisjointSet::find(std::uint32_t x) {
+  std::uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  // Full path compression.
+  while (parent_[x] != root) {
+    const std::uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool DisjointSet::unite(std::uint32_t a, std::uint32_t b) {
+  std::uint32_t ra = find(a);
+  std::uint32_t rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --set_count_;
+  return true;
+}
+
+std::size_t DisjointSet::set_size(std::uint32_t x) {
+  return size_[find(x)];
+}
+
+std::vector<std::uint32_t> DisjointSet::canonical_labels() {
+  std::vector<std::uint32_t> labels(parent_.size());
+  std::vector<std::uint32_t> remap(parent_.size(),
+                                   static_cast<std::uint32_t>(-1));
+  std::uint32_t next = 0;
+  for (std::uint32_t i = 0; i < parent_.size(); ++i) {
+    const std::uint32_t root = find(i);
+    if (remap[root] == static_cast<std::uint32_t>(-1)) remap[root] = next++;
+    labels[i] = remap[root];
+  }
+  return labels;
+}
+
+}  // namespace rtd::dsu

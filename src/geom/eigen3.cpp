@@ -1,0 +1,107 @@
+#include "geom/eigen3.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtd::geom {
+
+namespace {
+
+/// Robust eigenvector for eigenvalue `lambda`: the two rows of (M - lambda I)
+/// with the largest cross product span the orthogonal complement.
+Vec3 eigenvector_for(const Sym3& m, float lambda) {
+  const Vec3 row0{m.xx - lambda, m.xy, m.xz};
+  const Vec3 row1{m.xy, m.yy - lambda, m.yz};
+  const Vec3 row2{m.xz, m.yz, m.zz - lambda};
+
+  const Vec3 c01 = cross(row0, row1);
+  const Vec3 c02 = cross(row0, row2);
+  const Vec3 c12 = cross(row1, row2);
+
+  const float l01 = length_squared(c01);
+  const float l02 = length_squared(c02);
+  const float l12 = length_squared(c12);
+
+  Vec3 best = c01;
+  float best_len = l01;
+  if (l02 > best_len) {
+    best = c02;
+    best_len = l02;
+  }
+  if (l12 > best_len) {
+    best = c12;
+    best_len = l12;
+  }
+  if (best_len <= 0.0f) {
+    // Repeated eigenvalue: any unit vector orthogonal to the found space
+    // works; pick a deterministic axis.
+    return {1.0f, 0.0f, 0.0f};
+  }
+  return best / std::sqrt(best_len);
+}
+
+}  // namespace
+
+Eigen3 eigen_symmetric3(const Sym3& m) {
+  Eigen3 out;
+
+  // Scale-invariant formulation (Smith 1961 / "A robust eigensolver"):
+  // work with B = (M - q I) / p.
+  const float q = m.trace() / 3.0f;
+  const float p2 = (m.xx - q) * (m.xx - q) + (m.yy - q) * (m.yy - q) +
+                   (m.zz - q) * (m.zz - q) +
+                   2.0f * (m.xy * m.xy + m.xz * m.xz + m.yz * m.yz);
+  const float p = std::sqrt(p2 / 6.0f);
+
+  if (p < 1e-20f) {
+    // (Nearly) scalar matrix: triple eigenvalue q, canonical basis.
+    out.values = {q, q, q};
+    out.vectors = {Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1}};
+    return out;
+  }
+
+  const float inv_p = 1.0f / p;
+  const Sym3 b{(m.xx - q) * inv_p, m.xy * inv_p, m.xz * inv_p,
+               (m.yy - q) * inv_p, m.yz * inv_p, (m.zz - q) * inv_p};
+
+  // det(B) / 2, clamped into acos domain.
+  const float det_b =
+      b.xx * (b.yy * b.zz - b.yz * b.yz) - b.xy * (b.xy * b.zz - b.yz * b.xz) +
+      b.xz * (b.xy * b.yz - b.yy * b.xz);
+  const float r = std::clamp(det_b / 2.0f, -1.0f, 1.0f);
+  const float phi = std::acos(r) / 3.0f;
+
+  // phi in [0, pi/3]: cos(phi) in [1/2, 1] gives the largest root and
+  // cos(phi + 2pi/3) in [-1, -1/2] the smallest.
+  const float two_pi_thirds = 2.0943951023931953f;
+  const float e2 = q + 2.0f * p * std::cos(phi);                   // largest
+  const float e0 = q + 2.0f * p * std::cos(phi + two_pi_thirds);   // smallest
+  const float e1 = 3.0f * q - e0 - e2;
+
+  out.values = {e0, e1, e2};
+
+  out.vectors[0] = eigenvector_for(m, e0);
+  out.vectors[2] = eigenvector_for(m, e2);
+  // Middle vector: orthogonal completion beats solving near-degenerate
+  // systems when e1 is close to a neighbor.
+  Vec3 mid = cross(out.vectors[2], out.vectors[0]);
+  const float mid_len = length(mid);
+  out.vectors[1] = mid_len > 0.0f ? mid / mid_len
+                                  : eigenvector_for(m, e1);
+  return out;
+}
+
+Vec3 normal_from_covariance(const Sym3& cov) {
+  if (cov.trace() <= 0.0f) return {0.0f, 0.0f, 0.0f};
+  const Eigen3 e = eigen_symmetric3(cov);
+  return e.vectors[0];
+}
+
+float surface_variation(const Sym3& cov) {
+  const float t = cov.trace();
+  if (t <= 0.0f) return 0.0f;
+  const Eigen3 e = eigen_symmetric3(cov);
+  return std::max(e.values[0], 0.0f) / t;
+}
+
+}  // namespace rtd::geom

@@ -1,0 +1,73 @@
+#include "geom/morton.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace rtd::geom {
+
+std::uint32_t expand_bits_10(std::uint32_t v) {
+  v &= 0x3ffu;  // 10 bits
+  v = (v | (v << 16)) & 0x030000ffu;
+  v = (v | (v << 8)) & 0x0300f00fu;
+  v = (v | (v << 4)) & 0x030c30c3u;
+  v = (v | (v << 2)) & 0x09249249u;
+  return v;
+}
+
+std::uint32_t compact_bits_10(std::uint32_t v) {
+  v &= 0x09249249u;
+  v = (v | (v >> 2)) & 0x030c30c3u;
+  v = (v | (v >> 4)) & 0x0300f00fu;
+  v = (v | (v >> 8)) & 0x030000ffu;
+  v = (v | (v >> 16)) & 0x000003ffu;
+  return v;
+}
+
+namespace {
+std::uint32_t quantize10(float x) {
+  const float scaled = x * 1024.0f;
+  const float clamped = std::clamp(scaled, 0.0f, 1023.0f);
+  return static_cast<std::uint32_t>(clamped);
+}
+}  // namespace
+
+std::uint32_t morton3(float x, float y, float z) {
+  return (expand_bits_10(quantize10(x)) << 2) |
+         (expand_bits_10(quantize10(y)) << 1) |
+         expand_bits_10(quantize10(z));
+}
+
+Vec3 morton3_decode(std::uint32_t code) {
+  const auto qx = compact_bits_10(code >> 2);
+  const auto qy = compact_bits_10(code >> 1);
+  const auto qz = compact_bits_10(code);
+  // Cell centers of the 1024^3 quantization grid.
+  return {(static_cast<float>(qx) + 0.5f) / 1024.0f,
+          (static_cast<float>(qy) + 0.5f) / 1024.0f,
+          (static_cast<float>(qz) + 0.5f) / 1024.0f};
+}
+
+std::uint32_t morton3_in(const Aabb& scene, const Vec3& p) {
+  const Vec3 e = scene.extent();
+  const auto norm = [](float v, float lo, float extent) {
+    return extent > 0.0f ? (v - lo) / extent : 0.0f;
+  };
+  return morton3(norm(p.x, scene.lo.x, e.x), norm(p.y, scene.lo.y, e.y),
+                 norm(p.z, scene.lo.z, e.z));
+}
+
+std::vector<std::uint32_t> morton_codes(std::span<const Vec3> points,
+                                        const Aabb& scene) {
+  std::vector<std::uint32_t> codes(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    codes[i] = morton3_in(scene, points[i]);
+  }
+  return codes;
+}
+
+int common_prefix_length(std::uint32_t a, std::uint32_t b) {
+  return a == b ? 32 : std::countl_zero(a ^ b);
+}
+
+}  // namespace rtd::geom

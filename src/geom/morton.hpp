@@ -1,0 +1,44 @@
+// 30-bit 3-D Morton (Z-order) codes.
+//
+// Hardware-style BVH builders (and our LBVH) sort primitives along a
+// space-filling curve so that spatially close primitives end up adjacent in
+// memory, then derive the hierarchy from the sorted order (Karras 2012).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace rtd::geom {
+
+/// Spread the low 10 bits of v so there are two zero bits between each
+/// original bit: 0b...abc -> 0b...a00b00c.
+std::uint32_t expand_bits_10(std::uint32_t v);
+
+/// Inverse of expand_bits_10: compact every third bit into the low 10 bits.
+std::uint32_t compact_bits_10(std::uint32_t v);
+
+/// 30-bit Morton code of a point already normalized into the unit cube.
+/// Coordinates are clamped to [0, 1).
+std::uint32_t morton3(float x, float y, float z);
+
+/// Decode a 30-bit Morton code back into quantized unit-cube coordinates
+/// (cell centers of the 1024^3 grid).
+Vec3 morton3_decode(std::uint32_t code);
+
+/// Morton code of `p` relative to the scene bounds (the normalization the
+/// builder applies before quantization).
+std::uint32_t morton3_in(const Aabb& scene, const Vec3& p);
+
+/// Codes for a whole point set relative to its own bounds.
+std::vector<std::uint32_t> morton_codes(std::span<const Vec3> points,
+                                        const Aabb& scene);
+
+/// Length of the common MSB prefix of two 30-bit codes, used to find LBVH
+/// split positions.  Returns 32 for identical codes.
+int common_prefix_length(std::uint32_t a, std::uint32_t b);
+
+}  // namespace rtd::geom

@@ -1,0 +1,137 @@
+// Rays, sphere primitives and ray-primitive intersection predicates.
+//
+// The paper's key query is degenerate on purpose: an "infinitesimally small
+// ray" with t in [0, 1e-16] launched from the query point (§III-C).  Such a
+// ray intersects exactly those solid spheres that contain its origin, so the
+// hardware sphere-intersection test reduces to a point-in-sphere test.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace rtd::geom {
+
+struct Ray {
+  Vec3 origin;
+  Vec3 direction{0.0f, 0.0f, 1.0f};
+  float tmin = 0.0f;
+  float tmax = std::numeric_limits<float>::max();
+
+  /// The paper's epsilon-length query ray (§III-C, Alg. 2 line 4): origin at
+  /// the query point, direction z (the convention §IV uses for 2-D data),
+  /// extent [0, 1e-16].
+  static Ray point_query(const Vec3& q) {
+    return Ray{q, {0.0f, 0.0f, 1.0f}, 0.0f, 1e-16f};
+  }
+};
+
+/// Slab test: does the ray segment [tmin, tmax] hit the box?
+/// Written branch-light so the traversal inner loop vectorizes well.
+inline bool ray_intersects_aabb(const Ray& ray, const Aabb& box) {
+  // For the degenerate point-query rays used throughout RT-DBSCAN the slab
+  // test below reduces to a containment test, but we keep the general form so
+  // the substrate supports ordinary finite rays too (tests exercise both).
+  float t0 = ray.tmin;
+  float t1 = ray.tmax;
+  for (int axis = 0; axis < 3; ++axis) {
+    const float o = ray.origin[axis];
+    const float d = ray.direction[axis];
+    const float lo = box.lo[axis];
+    const float hi = box.hi[axis];
+    if (d != 0.0f) {
+      const float inv = 1.0f / d;
+      float tn = (lo - o) * inv;
+      float tf = (hi - o) * inv;
+      if (tn > tf) std::swap(tn, tf);
+      t0 = tn > t0 ? tn : t0;
+      t1 = tf < t1 ? tf : t1;
+      if (t0 > t1) return false;
+    } else if (o < lo || o > hi) {
+      // Ray parallel to the slab and outside it.
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Solid sphere of radius r around a data point — the paper's transformed
+/// input primitive (§III-B).
+struct Sphere {
+  Vec3 center;
+  float radius = 0.0f;
+
+  [[nodiscard]] Aabb bounds() const {
+    return Aabb::of_sphere(center, radius);
+  }
+
+  [[nodiscard]] bool contains(const Vec3& p) const {
+    return distance_squared(center, p) <= radius * radius;
+  }
+};
+
+/// Full quadratic ray-sphere test, returning the nearest hit parameter if the
+/// segment [tmin, tmax] intersects the solid sphere.  A ray starting inside
+/// the sphere reports a hit at t = tmin (this is what makes the point-query
+/// reduction work).
+inline bool ray_intersects_sphere(const Ray& ray, const Sphere& s,
+                                  float* t_hit = nullptr) {
+  const Vec3 oc = ray.origin - s.center;
+  const float r2 = s.radius * s.radius;
+  // Origin inside the solid sphere: the degenerate point query case.
+  if (length_squared(oc) <= r2) {
+    if (t_hit != nullptr) *t_hit = ray.tmin;
+    return true;
+  }
+  const float a = length_squared(ray.direction);
+  if (a == 0.0f) return false;  // zero-length ray outside the sphere
+  const float half_b = dot(oc, ray.direction);
+  const float c = length_squared(oc) - r2;
+  const float disc = half_b * half_b - a * c;
+  if (disc < 0.0f) return false;
+  const float sq = std::sqrt(disc);
+  float t = (-half_b - sq) / a;
+  if (t < ray.tmin) t = (-half_b + sq) / a;
+  if (t < ray.tmin || t > ray.tmax) return false;
+  if (t_hit != nullptr) *t_hit = t;
+  return true;
+}
+
+/// Triangle primitive for the §VI-C tessellated-sphere experiment.
+struct Triangle {
+  Vec3 a, b, c;
+
+  [[nodiscard]] Aabb bounds() const {
+    Aabb box = Aabb::of_point(a);
+    box.grow(b);
+    box.grow(c);
+    return box;
+  }
+};
+
+/// Moller-Trumbore ray-triangle intersection ("hardware" triangle test).
+inline bool ray_intersects_triangle(const Ray& ray, const Triangle& tri,
+                                    float* t_hit = nullptr) {
+  constexpr float kEps = 1e-12f;
+  const Vec3 e1 = tri.b - tri.a;
+  const Vec3 e2 = tri.c - tri.a;
+  const Vec3 pvec = cross(ray.direction, e2);
+  const float det = dot(e1, pvec);
+  if (std::fabs(det) < kEps) return false;
+  const float inv_det = 1.0f / det;
+  const Vec3 tvec = ray.origin - tri.a;
+  const float u = dot(tvec, pvec) * inv_det;
+  if (u < 0.0f || u > 1.0f) return false;
+  const Vec3 qvec = cross(tvec, e1);
+  const float v = dot(ray.direction, qvec) * inv_det;
+  if (v < 0.0f || u + v > 1.0f) return false;
+  const float t = dot(e2, qvec) * inv_det;
+  if (t < ray.tmin || t > ray.tmax) return false;
+  if (t_hit != nullptr) *t_hit = t;
+  return true;
+}
+
+}  // namespace rtd::geom

@@ -1,0 +1,9 @@
+// Context is header-only (templates); this TU exists so rtd_rt has a stable
+// archive member even when no out-of-line symbols are needed.
+#include "rt/context.hpp"
+
+namespace rtd::rt {
+
+static_assert(sizeof(LaunchStats) > 0);
+
+}  // namespace rtd::rt

@@ -1,0 +1,94 @@
+// Parallel LSD radix sort for 32-bit keys with attached 32-bit values.
+//
+// GPU BVH builders sort Morton codes with exactly this kind of radix sort;
+// it is the dominant cost of a hardware-style LBVH build, so we reproduce it
+// as a real parallel sort rather than calling std::sort.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <omp.h>
+
+namespace rtd::rt {
+
+/// Sort `keys` ascending, applying the same permutation to `values`.
+/// Stable; three passes of 11/11/10 bits; parallel histogram + scatter.
+inline void radix_sort_pairs(std::vector<std::uint32_t>& keys,
+                             std::vector<std::uint32_t>& values) {
+  const std::size_t n = keys.size();
+  if (n < 2) return;
+
+  std::vector<std::uint32_t> keys_tmp(n);
+  std::vector<std::uint32_t> values_tmp(n);
+
+  constexpr int kPassBits[3] = {11, 11, 10};
+  int shift = 0;
+
+  auto* src_k = &keys;
+  auto* src_v = &values;
+  auto* dst_k = &keys_tmp;
+  auto* dst_v = &values_tmp;
+
+  for (int pass = 0; pass < 3; ++pass) {
+    const int bits = kPassBits[pass];
+    const std::uint32_t radix = 1u << bits;
+    const std::uint32_t mask = radix - 1;
+
+    const int threads = omp_get_max_threads();
+    // Per-thread digit histograms, laid out [thread][digit].
+    std::vector<std::uint64_t> hist(
+        static_cast<std::size_t>(threads) * radix, 0);
+
+#pragma omp parallel
+    {
+      const int tid = omp_get_thread_num();
+      std::uint64_t* my_hist = hist.data() +
+                               static_cast<std::size_t>(tid) * radix;
+#pragma omp for schedule(static)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+        ++my_hist[((*src_k)[static_cast<std::size_t>(i)] >> shift) & mask];
+      }
+    }
+
+    // Exclusive scan over digits, interleaving threads to preserve stability:
+    // for digit d, thread 0's elements scatter before thread 1's.
+    std::uint64_t running = 0;
+    for (std::uint32_t d = 0; d < radix; ++d) {
+      for (int t = 0; t < threads; ++t) {
+        std::uint64_t& h = hist[static_cast<std::size_t>(t) * radix + d];
+        const std::uint64_t count = h;
+        h = running;
+        running += count;
+      }
+    }
+
+#pragma omp parallel
+    {
+      const int tid = omp_get_thread_num();
+      std::uint64_t* my_hist = hist.data() +
+                               static_cast<std::size_t>(tid) * radix;
+#pragma omp for schedule(static)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const std::uint32_t key = (*src_k)[idx];
+        const std::uint64_t pos = my_hist[(key >> shift) & mask]++;
+        (*dst_k)[pos] = key;
+        (*dst_v)[pos] = (*src_v)[idx];
+      }
+    }
+
+    std::swap(src_k, dst_k);
+    std::swap(src_v, dst_v);
+    shift += bits;
+  }
+
+  // Three passes: results land back in an alternating buffer; after an odd
+  // number of swaps the data is in the temporaries.
+  if (src_k != &keys) {
+    keys.swap(keys_tmp);
+    values.swap(values_tmp);
+  }
+}
+
+}  // namespace rtd::rt

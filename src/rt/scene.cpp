@@ -1,0 +1,49 @@
+#include "rt/scene.hpp"
+
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+
+namespace rtd::rt {
+
+SphereAccel::SphereAccel(std::vector<geom::Vec3> centers, float radius,
+                         const BuildOptions& options)
+    : centers_(std::move(centers)), radius_(radius) {
+  if (radius <= 0.0f) {
+    throw std::invalid_argument("SphereAccel: radius must be positive");
+  }
+  std::vector<geom::Aabb> bounds(centers_.size());
+  parallel_for(centers_.size(), [&](std::size_t i) {
+    bounds[i] = geom::Aabb::of_sphere(centers_[i], radius_);
+  });
+  bvh_ = build_bvh(bounds, options);
+}
+
+void SphereAccel::set_radius(float radius) {
+  if (radius <= 0.0f) {
+    throw std::invalid_argument("SphereAccel: radius must be positive");
+  }
+  radius_ = radius;
+  std::vector<geom::Aabb> bounds(centers_.size());
+  parallel_for(centers_.size(), [&](std::size_t i) {
+    bounds[i] = geom::Aabb::of_sphere(centers_[i], radius_);
+  });
+  bvh_.refit(bounds);
+}
+
+TriangleAccel::TriangleAccel(std::vector<geom::Triangle> triangles,
+                             std::vector<std::uint32_t> owners,
+                             const BuildOptions& options)
+    : triangles_(std::move(triangles)), owners_(std::move(owners)) {
+  if (triangles_.size() != owners_.size()) {
+    throw std::invalid_argument(
+        "TriangleAccel: one owner id required per triangle");
+  }
+  std::vector<geom::Aabb> bounds(triangles_.size());
+  parallel_for(triangles_.size(), [&](std::size_t i) {
+    bounds[i] = triangles_[i].bounds();
+  });
+  bvh_ = build_bvh(bounds, options);
+}
+
+}  // namespace rtd::rt

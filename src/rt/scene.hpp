@@ -1,0 +1,122 @@
+// Geometry acceleration structures ("GAS" in OptiX terms).
+//
+// SphereAccel is the paper's transformed input: one solid ε-sphere per data
+// point with a user Intersection program (§III-B/C).  TriangleAccel is the
+// §VI-C alternative: spheres tessellated into triangles so the "hardware"
+// can run the primitive test itself, with hits delivered through an AnyHit
+// program.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/ray.hpp"
+#include "rt/bvh.hpp"
+#include "rt/traversal.hpp"
+
+namespace rtd::rt {
+
+/// Acceleration structure over n solid spheres of shared radius.
+///
+/// In OptiX this is a custom-primitive GAS: the user supplies a bounds
+/// program (sphere -> AABB) and an Intersection program; the hardware builds
+/// the BVH over the AABBs and traversal reports candidate primitives to the
+/// Intersection program, which performs the exact test.
+class SphereAccel {
+ public:
+  /// "optixAccelBuild": copies the centers (device upload) and builds the
+  /// BVH over the per-sphere AABBs.
+  SphereAccel(std::vector<geom::Vec3> centers, float radius,
+              const BuildOptions& options = {});
+
+  [[nodiscard]] std::size_t size() const { return centers_.size(); }
+  [[nodiscard]] float radius() const { return radius_; }
+  [[nodiscard]] const std::vector<geom::Vec3>& centers() const {
+    return centers_;
+  }
+  [[nodiscard]] const geom::Vec3& center(std::uint32_t i) const {
+    return centers_[i];
+  }
+  [[nodiscard]] const Bvh& bvh() const { return bvh_; }
+  [[nodiscard]] const BuildStats& build_stats() const { return bvh_.stats; }
+
+  /// Trace one ray.  `isect_program(prim_id)` is invoked for every candidate
+  /// sphere whose AABB the ray hits; per OptiX semantics it cannot terminate
+  /// traversal.  The program is responsible for the exact distance test —
+  /// helpers below provide it.
+  template <typename IsectProgram>
+  void trace(const geom::Ray& ray, IsectProgram&& isect_program,
+             TraversalStats& stats) const {
+    traverse(
+        bvh_, ray,
+        [&](std::uint32_t prim) {
+          ++stats.isect_calls;
+          isect_program(prim);
+          return TraversalControl::kContinue;
+        },
+        stats);
+  }
+
+  /// Exact test the Intersection program applies (Alg. 2 line 6): is the ray
+  /// origin within the solid sphere `prim`?
+  [[nodiscard]] bool origin_inside(const geom::Ray& ray,
+                                   std::uint32_t prim) const {
+    return geom::distance_squared(ray.origin, centers_[prim]) <=
+           radius_ * radius_;
+  }
+
+  /// Change the shared sphere radius and REFIT the BVH in place (topology
+  /// unchanged — it depends only on the centers).  This is the cheap path
+  /// for ε sweeps: an accel-update instead of a full rebuild.
+  void set_radius(float radius);
+
+ private:
+  std::vector<geom::Vec3> centers_;
+  float radius_;
+  Bvh bvh_;
+};
+
+/// Acceleration structure over triangles, each owned by a data point
+/// (tessellated sphere).  The primitive test runs "in hardware"
+/// (Moller-Trumbore here); accepted hits are delivered to the user AnyHit
+/// program, which is exactly the costly path the paper measured (§VI-C).
+class TriangleAccel {
+ public:
+  TriangleAccel(std::vector<geom::Triangle> triangles,
+                std::vector<std::uint32_t> owners,
+                const BuildOptions& options = {});
+
+  [[nodiscard]] std::size_t triangle_count() const {
+    return triangles_.size();
+  }
+  [[nodiscard]] const Bvh& bvh() const { return bvh_; }
+  [[nodiscard]] const BuildStats& build_stats() const { return bvh_.stats; }
+
+  /// Trace one ray; `anyhit(owner_point, t)` fires for each triangle the ray
+  /// actually intersects.  A ray crossing a tessellated sphere hits several
+  /// of its triangles — the AnyHit program must deduplicate owners.
+  template <typename AnyHitProgram>
+  void trace(const geom::Ray& ray, AnyHitProgram&& anyhit,
+             TraversalStats& stats) const {
+    traverse(
+        bvh_, ray,
+        [&](std::uint32_t prim) {
+          ++stats.isect_calls;  // hardware ray-triangle test
+          float t = 0.0f;
+          if (geom::ray_intersects_triangle(ray, triangles_[prim], &t)) {
+            ++stats.anyhit_calls;
+            anyhit(owners_[prim], t);
+          }
+          return TraversalControl::kContinue;
+        },
+        stats);
+  }
+
+ private:
+  std::vector<geom::Triangle> triangles_;
+  std::vector<std::uint32_t> owners_;
+  Bvh bvh_;
+};
+
+}  // namespace rtd::rt

@@ -1,0 +1,152 @@
+// BVH traversal — the operation RT cores execute in hardware (§II-B1).
+//
+// Traversal is an iterative stack walk: a ray descends only into nodes whose
+// AABB it intersects; at leaves, candidate primitives are handed to the
+// caller (the Intersection program in OptiX terms).  The caller must apply
+// its own exact primitive test, exactly as the paper's Intersection program
+// re-checks `dist(q, s) <= eps` (Alg. 2 line 6) because "it is possible for
+// the ray to intersect the bounding volume but completely miss the object".
+//
+// Work counters substitute for the hardware's opaque acceleration: every
+// experiment can report nodes visited / AABB tests / Intersection-program
+// calls alongside wall-clock time.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/ray.hpp"
+#include "rt/bvh.hpp"
+
+namespace rtd::rt {
+
+/// Hardware work counters for one or more traversals.
+struct TraversalStats {
+  std::uint64_t rays = 0;           ///< traversals performed
+  std::uint64_t nodes_visited = 0;  ///< BVH nodes popped from the stack
+  std::uint64_t aabb_tests = 0;     ///< ray-box slab tests
+  std::uint64_t isect_calls = 0;    ///< Intersection-program invocations
+  std::uint64_t anyhit_calls = 0;   ///< AnyHit-program invocations (§VI-C)
+
+  TraversalStats& operator+=(const TraversalStats& o) {
+    rays += o.rays;
+    nodes_visited += o.nodes_visited;
+    aabb_tests += o.aabb_tests;
+    isect_calls += o.isect_calls;
+    anyhit_calls += o.anyhit_calls;
+    return *this;
+  }
+};
+
+/// What a primitive callback tells the traversal loop to do next.
+///
+/// OptiX semantics: an Intersection program cannot stop BVH traversal (the
+/// paper's §VI-B), so the RT pipeline always returns kContinue.  kTerminate
+/// exists for the *software* consumers of this BVH — FDBSCAN's early-exit
+/// optimization terminates as soon as minPts neighbors are found.
+enum class TraversalControl { kContinue, kTerminate };
+
+/// Walk the BVH with `ray`; invoke `on_candidate(prim_id)` for every
+/// primitive in every leaf whose AABB the ray intersects.
+///
+/// `on_candidate` must be invocable as `TraversalControl(std::uint32_t)`.
+/// Counters accumulate into `stats`.
+template <typename Callback>
+void traverse(const Bvh& bvh, const geom::Ray& ray, Callback&& on_candidate,
+              TraversalStats& stats) {
+  if (bvh.empty()) return;
+  ++stats.rays;
+
+  // Hardware traversal stacks are shallow and fixed-size; 64 covers any tree
+  // our builders produce (depth is checked in BuildStats and by tests).
+  std::uint32_t stack[64];
+  int top = 0;
+
+  ++stats.aabb_tests;
+  if (!geom::ray_intersects_aabb(ray, bvh.nodes[0].bounds)) return;
+  stack[top++] = 0;
+
+  while (top > 0) {
+    const BvhNode& node = bvh.nodes[stack[--top]];
+    ++stats.nodes_visited;
+
+    if (node.is_leaf()) {
+      for (std::uint32_t i = node.left_or_first;
+           i < node.left_or_first + node.count; ++i) {
+        if (on_candidate(bvh.prim_index[i]) == TraversalControl::kTerminate) {
+          return;
+        }
+      }
+      continue;
+    }
+
+    const std::uint32_t left = node.left_or_first;
+    stats.aabb_tests += 2;
+    if (geom::ray_intersects_aabb(ray, bvh.nodes[left].bounds)) {
+      stack[top++] = left;
+    }
+    if (geom::ray_intersects_aabb(ray, bvh.nodes[left + 1].bounds)) {
+      stack[top++] = left + 1;
+    }
+  }
+}
+
+/// Volume-overlap traversal: invoke `on_candidate(prim_id)` for every
+/// primitive in every leaf whose AABB overlaps `query`.
+///
+/// This is the *software* tree query FDBSCAN performs on its BVH (a box
+/// around the ε-sphere of the query point) — no rays involved.  It shares
+/// the node/test counters so RT and non-RT approaches are directly
+/// comparable in traversal work.
+template <typename Callback>
+void traverse_overlap(const Bvh& bvh, const geom::Aabb& query,
+                      Callback&& on_candidate, TraversalStats& stats) {
+  if (bvh.empty()) return;
+  ++stats.rays;
+
+  std::uint32_t stack[64];
+  int top = 0;
+
+  ++stats.aabb_tests;
+  if (!query.overlaps(bvh.nodes[0].bounds)) return;
+  stack[top++] = 0;
+
+  while (top > 0) {
+    const BvhNode& node = bvh.nodes[stack[--top]];
+    ++stats.nodes_visited;
+
+    if (node.is_leaf()) {
+      for (std::uint32_t i = node.left_or_first;
+           i < node.left_or_first + node.count; ++i) {
+        if (on_candidate(bvh.prim_index[i]) == TraversalControl::kTerminate) {
+          return;
+        }
+      }
+      continue;
+    }
+
+    const std::uint32_t left = node.left_or_first;
+    stats.aabb_tests += 2;
+    if (query.overlaps(bvh.nodes[left].bounds)) {
+      stack[top++] = left;
+    }
+    if (query.overlaps(bvh.nodes[left + 1].bounds)) {
+      stack[top++] = left + 1;
+    }
+  }
+}
+
+/// Brute-force reference: invoke the callback for every primitive whose AABB
+/// the ray hits.  Used by tests to check traversal completeness (a BVH
+/// traversal must surface a superset of the exact hits and exactly the set
+/// of AABB hits reachable through contained bounds).
+template <typename Callback>
+void traverse_brute_force(std::span<const geom::Aabb> prim_bounds,
+                          const geom::Ray& ray, Callback&& on_candidate) {
+  for (std::uint32_t i = 0; i < prim_bounds.size(); ++i) {
+    if (geom::ray_intersects_aabb(ray, prim_bounds[i])) {
+      if (on_candidate(i) == TraversalControl::kTerminate) return;
+    }
+  }
+}
+
+}  // namespace rtd::rt

@@ -1,0 +1,81 @@
+// Shared fixtures for the DBSCAN implementation tests: tiny hand-checked
+// datasets, brute-force classification, and the standard "equivalent to the
+// sequential reference" assertion.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "dbscan/core.hpp"
+#include "dbscan/equivalence.hpp"
+#include "dbscan/sequential.hpp"
+#include "geom/vec3.hpp"
+
+namespace rtd::testutil {
+
+using dbscan::Clustering;
+using dbscan::Params;
+using geom::Vec3;
+
+/// Two well-separated 2-D squares of 4 points each, plus one far outlier.
+/// With eps=1.5, minPts=3: two clusters of 4, one noise point.
+inline std::vector<Vec3> two_squares_and_outlier() {
+  return {
+      Vec3::xy(0, 0), Vec3::xy(1, 0), Vec3::xy(0, 1), Vec3::xy(1, 1),
+      Vec3::xy(10, 10), Vec3::xy(11, 10), Vec3::xy(10, 11), Vec3::xy(11, 11),
+      Vec3::xy(100, 100),
+  };
+}
+
+/// A chain of points spaced 1 apart; with eps=1.1, minPts=3 all interior
+/// points are core and the chain is one cluster.
+inline std::vector<Vec3> chain(int n) {
+  std::vector<Vec3> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(Vec3::xy(static_cast<float>(i), 0.0f));
+  }
+  return pts;
+}
+
+/// A bridge dataset with a genuinely ambiguous border point.  Two vertical
+/// 12-point chains (spacing 0.5) at x=0 and x=4, plus a bridge point at
+/// (2, 0).  With eps=2.05, minPts=6:
+///  * chain points at y=0 reach 5 chain members (incl. self) + the bridge
+///    = 6 -> core;
+///  * the bridge reaches exactly the two y=0 points (distance 2.0) + itself
+///    = 3 -> NOT core, but a border point adjacent to cores of BOTH
+///    clusters — the ambiguous case Alg. 3's critical section arbitrates.
+/// The bridge is the last point, index kAmbiguousBridgeIndex.
+inline constexpr std::size_t kAmbiguousBridgeIndex = 24;
+
+inline std::vector<Vec3> ambiguous_border() {
+  std::vector<Vec3> pts;
+  for (int k = 0; k < 2; ++k) {
+    const float x = static_cast<float>(k) * 4.0f;
+    for (int i = 0; i < 12; ++i) {
+      pts.push_back(Vec3::xy(x, static_cast<float>(i) * 0.5f));
+    }
+  }
+  pts.push_back(Vec3::xy(2.0f, 0.0f));
+  return pts;
+}
+
+/// Assert that `actual` is an equivalent clustering to the sequential
+/// reference on `points`.
+inline void expect_matches_reference(std::span<const Vec3> points,
+                                     const Params& params,
+                                     const Clustering& actual,
+                                     const char* what) {
+  const Clustering reference = dbscan::sequential_dbscan(points, params);
+  const auto eq =
+      dbscan::check_equivalent(points, params, reference, actual);
+  EXPECT_TRUE(eq.equivalent)
+      << what << " differs from sequential reference: " << eq.reason
+      << " (n=" << points.size() << ", eps=" << params.eps
+      << ", minPts=" << params.min_pts << ")";
+}
+
+}  // namespace rtd::testutil

@@ -1,0 +1,107 @@
+#include "geom/aabb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtd::geom {
+namespace {
+
+TEST(Aabb, DefaultIsEmpty) {
+  const Aabb box;
+  EXPECT_TRUE(box.is_empty());
+  EXPECT_EQ(box.surface_area(), 0.0f);
+}
+
+TEST(Aabb, GrowPoint) {
+  Aabb box;
+  box.grow(Vec3{1.0f, 2.0f, 3.0f});
+  EXPECT_FALSE(box.is_empty());
+  EXPECT_EQ(box.lo, (Vec3{1.0f, 2.0f, 3.0f}));
+  EXPECT_EQ(box.hi, (Vec3{1.0f, 2.0f, 3.0f}));
+  box.grow(Vec3{-1.0f, 4.0f, 0.0f});
+  EXPECT_EQ(box.lo, (Vec3{-1.0f, 2.0f, 0.0f}));
+  EXPECT_EQ(box.hi, (Vec3{1.0f, 4.0f, 3.0f}));
+}
+
+TEST(Aabb, GrowBox) {
+  Aabb a = Aabb::of_point(Vec3{0.0f, 0.0f, 0.0f});
+  const Aabb b(Vec3{1.0f, 1.0f, 1.0f}, Vec3{2.0f, 2.0f, 2.0f});
+  a.grow(b);
+  EXPECT_EQ(a.lo, (Vec3{0.0f, 0.0f, 0.0f}));
+  EXPECT_EQ(a.hi, (Vec3{2.0f, 2.0f, 2.0f}));
+}
+
+TEST(Aabb, OfSphere) {
+  const Aabb box = Aabb::of_sphere(Vec3{1.0f, 2.0f, 3.0f}, 0.5f);
+  EXPECT_EQ(box.lo, (Vec3{0.5f, 1.5f, 2.5f}));
+  EXPECT_EQ(box.hi, (Vec3{1.5f, 2.5f, 3.5f}));
+  EXPECT_EQ(box.center(), (Vec3{1.0f, 2.0f, 3.0f}));
+}
+
+TEST(Aabb, SurfaceArea) {
+  const Aabb unit(Vec3{0.0f, 0.0f, 0.0f}, Vec3{1.0f, 1.0f, 1.0f});
+  EXPECT_FLOAT_EQ(unit.surface_area(), 6.0f);
+  const Aabb slab(Vec3{0.0f, 0.0f, 0.0f}, Vec3{2.0f, 3.0f, 0.0f});
+  EXPECT_FLOAT_EQ(slab.surface_area(), 2.0f * (2.0f * 3.0f));
+}
+
+TEST(Aabb, ContainsPoint) {
+  const Aabb box(Vec3{0.0f, 0.0f, 0.0f}, Vec3{1.0f, 1.0f, 1.0f});
+  EXPECT_TRUE(box.contains(Vec3{0.5f, 0.5f, 0.5f}));
+  EXPECT_TRUE(box.contains(Vec3{0.0f, 0.0f, 0.0f}));  // boundary inclusive
+  EXPECT_TRUE(box.contains(Vec3{1.0f, 1.0f, 1.0f}));
+  EXPECT_FALSE(box.contains(Vec3{1.1f, 0.5f, 0.5f}));
+  EXPECT_FALSE(box.contains(Vec3{0.5f, -0.1f, 0.5f}));
+}
+
+TEST(Aabb, ContainsBox) {
+  const Aabb outer(Vec3{0.0f, 0.0f, 0.0f}, Vec3{4.0f, 4.0f, 4.0f});
+  const Aabb inner(Vec3{1.0f, 1.0f, 1.0f}, Vec3{2.0f, 2.0f, 2.0f});
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+}
+
+TEST(Aabb, Overlaps) {
+  const Aabb a(Vec3{0.0f, 0.0f, 0.0f}, Vec3{2.0f, 2.0f, 2.0f});
+  const Aabb b(Vec3{1.0f, 1.0f, 1.0f}, Vec3{3.0f, 3.0f, 3.0f});
+  const Aabb c(Vec3{2.5f, 2.5f, 2.5f}, Vec3{4.0f, 4.0f, 4.0f});
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_TRUE(b.overlaps(c));
+  EXPECT_FALSE(a.overlaps(c));
+  // Touching faces count as overlap (conservative for BVH pruning).
+  const Aabb d(Vec3{2.0f, 0.0f, 0.0f}, Vec3{3.0f, 1.0f, 1.0f});
+  EXPECT_TRUE(a.overlaps(d));
+}
+
+TEST(Aabb, WidestAxis) {
+  EXPECT_EQ(Aabb(Vec3{0, 0, 0}, Vec3{3, 1, 1}).widest_axis(), 0);
+  EXPECT_EQ(Aabb(Vec3{0, 0, 0}, Vec3{1, 3, 1}).widest_axis(), 1);
+  EXPECT_EQ(Aabb(Vec3{0, 0, 0}, Vec3{1, 1, 3}).widest_axis(), 2);
+}
+
+TEST(Aabb, Unite) {
+  const Aabb a(Vec3{0, 0, 0}, Vec3{1, 1, 1});
+  const Aabb b(Vec3{2, 2, 2}, Vec3{3, 3, 3});
+  const Aabb u = Aabb::unite(a, b);
+  EXPECT_EQ(u.lo, (Vec3{0, 0, 0}));
+  EXPECT_EQ(u.hi, (Vec3{3, 3, 3}));
+  EXPECT_TRUE(u.contains(a));
+  EXPECT_TRUE(u.contains(b));
+}
+
+TEST(Aabb, UniteWithEmptyIsIdentity) {
+  const Aabb a(Vec3{0, 0, 0}, Vec3{1, 1, 1});
+  const Aabb u = Aabb::unite(a, Aabb::empty());
+  EXPECT_EQ(u.lo, a.lo);
+  EXPECT_EQ(u.hi, a.hi);
+}
+
+TEST(Aabb, ExtentAndCenter) {
+  const Aabb box(Vec3{1, 2, 3}, Vec3{5, 8, 11});
+  EXPECT_EQ(box.extent(), (Vec3{4, 6, 8}));
+  EXPECT_EQ(box.center(), (Vec3{3, 5, 7}));
+}
+
+}  // namespace
+}  // namespace rtd::geom

@@ -1,0 +1,111 @@
+#include "dbscan/dclustplus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.hpp"
+#include "dbscan_test_util.hpp"
+
+namespace rtd::dbscan {
+namespace {
+
+using testutil::expect_matches_reference;
+
+TEST(DclustPlus, RejectsBadParams) {
+  const std::vector<geom::Vec3> pts{{0, 0, 0}};
+  EXPECT_THROW(dclust_plus(pts, {0.0f, 3}), std::invalid_argument);
+  EXPECT_THROW(dclust_plus(pts, {1.0f, 0}), std::invalid_argument);
+}
+
+TEST(DclustPlus, EmptyInput) {
+  const std::vector<geom::Vec3> pts;
+  const auto r = dclust_plus(pts, {1.0f, 3});
+  EXPECT_EQ(r.clustering.size(), 0u);
+  EXPECT_EQ(r.chain_count, 0u);
+}
+
+TEST(DclustPlus, MatchesReferenceOnHandCheckedData) {
+  const auto pts = testutil::two_squares_and_outlier();
+  const Params params{1.5f, 3};
+  const auto r = dclust_plus(pts, params);
+  expect_matches_reference(pts, params, r.clustering, "dclust+");
+  EXPECT_EQ(r.clustering.cluster_count, 2u);
+}
+
+TEST(DclustPlus, MatchesReferenceOnAmbiguousBorder) {
+  const auto pts = testutil::ambiguous_border();
+  const Params params{2.05f, 6};
+  const auto r = dclust_plus(pts, params);
+  expect_matches_reference(pts, params, r.clustering, "dclust+");
+}
+
+class DclustPlusDatasetTest
+    : public ::testing::TestWithParam<std::tuple<data::PaperDataset, float,
+                                                 std::uint32_t>> {};
+
+TEST_P(DclustPlusDatasetTest, MatchesReference) {
+  const auto [which, eps, min_pts] = GetParam();
+  const auto dataset = data::make_paper_dataset(which, 3000, 79);
+  const Params params{eps, min_pts};
+  const auto r = dclust_plus(dataset.points, params);
+  expect_matches_reference(dataset.points, params, r.clustering, "dclust+");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperDatasets, DclustPlusDatasetTest,
+    ::testing::Values(
+        std::make_tuple(data::PaperDataset::k3DRoad, 0.5f, 10u),
+        std::make_tuple(data::PaperDataset::k3DRoad, 1.0f, 30u),
+        std::make_tuple(data::PaperDataset::kPorto, 0.3f, 10u),
+        std::make_tuple(data::PaperDataset::kNgsim, 0.05f, 10u),
+        std::make_tuple(data::PaperDataset::k3DIono, 2.0f, 10u)));
+
+TEST(DclustPlus, ChainCollisionsMergeOneCluster) {
+  // One big connected blob forced through many chains: collisions must fuse
+  // all chains into a single cluster.
+  const auto dataset = data::single_blob(5000, 1.0f, 51);
+  DclustPlusOptions opts;
+  opts.chains_per_round = 64;
+  const auto r = dclust_plus(dataset.points, {0.4f, 5}, opts);
+  EXPECT_EQ(r.clustering.cluster_count, 1u);
+  EXPECT_GT(r.chain_count, 1u);
+  EXPECT_GT(r.collision_count, 0u);
+}
+
+TEST(DclustPlus, FewChainsStillCorrect) {
+  const auto dataset = data::two_rings(3000, 52);
+  const Params params{0.8f, 5};
+  DclustPlusOptions opts;
+  opts.chains_per_round = 2;
+  const auto r = dclust_plus(dataset.points, params, opts);
+  expect_matches_reference(dataset.points, params, r.clustering, "dclust+");
+}
+
+TEST(DclustPlus, SingleThreadMatchesParallel) {
+  const auto dataset = data::taxi_gps(3000, 53);
+  const Params params{0.3f, 10};
+  DclustPlusOptions serial;
+  serial.threads = 1;
+  const auto a = dclust_plus(dataset.points, params, serial);
+  const auto b = dclust_plus(dataset.points, params);
+  const auto eq =
+      check_equivalent(dataset.points, params, a.clustering, b.clustering);
+  EXPECT_TRUE(eq.equivalent) << eq.reason;
+}
+
+TEST(DclustPlus, AllNoiseDataset) {
+  // Sparse uniform noise with tight eps: no clusters, no collisions needed.
+  const auto dataset = data::uniform_cube(2000, 1000.0f, 2, 54);
+  const auto r = dclust_plus(dataset.points, {0.5f, 5});
+  EXPECT_EQ(r.clustering.cluster_count, 0u);
+  EXPECT_EQ(r.clustering.noise_count(), dataset.size());
+}
+
+TEST(DclustPlus, ReportsPhaseTimes) {
+  const auto dataset = data::taxi_gps(2000, 55);
+  const auto r = dclust_plus(dataset.points, {0.3f, 10});
+  EXPECT_GT(r.index_build_seconds, 0.0);
+  EXPECT_GE(r.expansion_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace rtd::dbscan

@@ -1,0 +1,124 @@
+#include "dbscan/fdbscan_densebox.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.hpp"
+#include "dbscan_test_util.hpp"
+
+namespace rtd::dbscan {
+namespace {
+
+using testutil::expect_matches_reference;
+
+TEST(Densebox, RejectsBadParams) {
+  const std::vector<geom::Vec3> pts{{0, 0, 0}};
+  EXPECT_THROW(fdbscan_densebox(pts, {0.0f, 3}), std::invalid_argument);
+  EXPECT_THROW(fdbscan_densebox(pts, {1.0f, 0}), std::invalid_argument);
+}
+
+TEST(Densebox, EmptyInput) {
+  const std::vector<geom::Vec3> pts;
+  const auto r = fdbscan_densebox(pts, {1.0f, 3});
+  EXPECT_EQ(r.clustering.size(), 0u);
+  EXPECT_EQ(r.dense_cells, 0u);
+}
+
+TEST(Densebox, MatchesReferenceOnHandCheckedData) {
+  const auto pts = testutil::two_squares_and_outlier();
+  const Params params{1.5f, 3};
+  const auto r = fdbscan_densebox(pts, params);
+  expect_matches_reference(pts, params, r.clustering, "densebox");
+}
+
+TEST(Densebox, MatchesReferenceOnAmbiguousBorder) {
+  const auto pts = testutil::ambiguous_border();
+  const Params params{2.05f, 6};
+  const auto r = fdbscan_densebox(pts, params);
+  expect_matches_reference(pts, params, r.clustering, "densebox");
+}
+
+TEST(Densebox, DenseCellMembersAreCoreWithoutQueries) {
+  // 100 duplicate points: one dense cell, zero phase-1 traversal work for
+  // them.
+  std::vector<geom::Vec3> pts(100, geom::Vec3::xy(5, 5));
+  pts.push_back(geom::Vec3::xy(50, 50));  // isolated noise point
+  const Params params{1.0f, 10};
+  const auto r = fdbscan_densebox(pts, params);
+  EXPECT_GE(r.dense_cells, 1u);
+  EXPECT_GE(r.dense_points, 100u);
+  // Only the isolated point required a phase-1 query.
+  EXPECT_EQ(r.phase1_work.rays, 1u);
+  expect_matches_reference(pts, params, r.clustering, "densebox");
+}
+
+class DenseboxDatasetTest
+    : public ::testing::TestWithParam<std::tuple<data::PaperDataset, float,
+                                                 std::uint32_t>> {};
+
+TEST_P(DenseboxDatasetTest, MatchesReference) {
+  const auto [which, eps, min_pts] = GetParam();
+  const auto dataset = data::make_paper_dataset(which, 4000, 88);
+  const Params params{eps, min_pts};
+  const auto r = fdbscan_densebox(dataset.points, params);
+  expect_matches_reference(dataset.points, params, r.clustering, "densebox");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperDatasets, DenseboxDatasetTest,
+    ::testing::Values(
+        std::make_tuple(data::PaperDataset::k3DRoad, 0.5f, 10u),
+        std::make_tuple(data::PaperDataset::k3DRoad, 1.5f, 40u),
+        std::make_tuple(data::PaperDataset::kPorto, 0.3f, 10u),
+        std::make_tuple(data::PaperDataset::kPorto, 0.8f, 50u),
+        std::make_tuple(data::PaperDataset::kNgsim, 0.05f, 5u),
+        std::make_tuple(data::PaperDataset::kNgsim, 0.8f, 60u),
+        std::make_tuple(data::PaperDataset::k3DIono, 2.0f, 10u),
+        std::make_tuple(data::PaperDataset::k3DIono, 5.0f, 50u)));
+
+TEST(Densebox, SavesPhase1WorkOnDenseData) {
+  // High-density blobs: many dense cells, so phase 1 launches far fewer
+  // queries than plain FDBSCAN.
+  const auto dataset = data::single_blob(10000, 0.3f, 89);
+  const Params params{0.2f, 10};
+  const auto db = fdbscan_densebox(dataset.points, params);
+  const auto fd = fdbscan(dataset.points, params);
+  EXPECT_GT(db.dense_points, dataset.size() / 2);
+  EXPECT_LT(db.phase1_work.rays, fd.phase1_work.rays / 2);
+  const auto eq = check_equivalent(dataset.points, params, fd.clustering,
+                                   db.clustering);
+  EXPECT_TRUE(eq.equivalent) << eq.reason;
+}
+
+TEST(Densebox, NoDenseCellsOnSparseUniformData) {
+  // The paper's rationale for not benchmarking it: "in the absence of such
+  // regions, performance remains the same or is worse."
+  const auto dataset = data::uniform_cube(5000, 500.0f, 2, 90);
+  const Params params{1.0f, 20};
+  const auto r = fdbscan_densebox(dataset.points, params);
+  EXPECT_EQ(r.dense_cells, 0u);
+  EXPECT_EQ(r.phase1_work.rays, dataset.size());
+  expect_matches_reference(dataset.points, params, r.clustering, "densebox");
+}
+
+TEST(Densebox, SingleThreadMatchesParallel) {
+  const auto dataset = data::taxi_gps(3000, 91);
+  const Params params{0.3f, 10};
+  FdbscanOptions serial;
+  serial.threads = 1;
+  const auto a = fdbscan_densebox(dataset.points, params, serial);
+  const auto b = fdbscan_densebox(dataset.points, params);
+  const auto eq =
+      check_equivalent(dataset.points, params, a.clustering, b.clustering);
+  EXPECT_TRUE(eq.equivalent) << eq.reason;
+}
+
+TEST(Densebox, ThreeDimensionalDenseCells) {
+  const auto dataset = data::gaussian_blobs(8000, 2, 0.2f, 10.0f, 3, 92);
+  const Params params{0.5f, 15};
+  const auto r = fdbscan_densebox(dataset.points, params);
+  EXPECT_GT(r.dense_cells, 0u);
+  expect_matches_reference(dataset.points, params, r.clustering, "densebox");
+}
+
+}  // namespace
+}  // namespace rtd::dbscan

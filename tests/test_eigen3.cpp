@@ -1,0 +1,159 @@
+#include "geom/eigen3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rtd::geom {
+namespace {
+
+void expect_is_eigenpair(const Sym3& m, float lambda, const Vec3& v,
+                         float tol) {
+  EXPECT_NEAR(length(v), 1.0f, 1e-4f);
+  const Vec3 mv = m.multiply(v);
+  const Vec3 lv = v * lambda;
+  EXPECT_NEAR(mv.x, lv.x, tol);
+  EXPECT_NEAR(mv.y, lv.y, tol);
+  EXPECT_NEAR(mv.z, lv.z, tol);
+}
+
+TEST(Eigen3, DiagonalMatrix) {
+  const Sym3 m{3.0f, 0, 0, 1.0f, 0, 2.0f};
+  const Eigen3 e = eigen_symmetric3(m);
+  EXPECT_NEAR(e.values[0], 1.0f, 1e-5f);
+  EXPECT_NEAR(e.values[1], 2.0f, 1e-5f);
+  EXPECT_NEAR(e.values[2], 3.0f, 1e-5f);
+  expect_is_eigenpair(m, e.values[0], e.vectors[0], 1e-4f);
+  expect_is_eigenpair(m, e.values[2], e.vectors[2], 1e-4f);
+}
+
+TEST(Eigen3, ScalarMatrix) {
+  const Sym3 m{2.0f, 0, 0, 2.0f, 0, 2.0f};
+  const Eigen3 e = eigen_symmetric3(m);
+  for (const float v : e.values) EXPECT_NEAR(v, 2.0f, 1e-6f);
+}
+
+TEST(Eigen3, ZeroMatrix) {
+  const Sym3 m{};
+  const Eigen3 e = eigen_symmetric3(m);
+  for (const float v : e.values) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Eigen3, KnownOffDiagonal) {
+  // [[2,1,0],[1,2,0],[0,0,5]]: eigenvalues 1, 3, 5.
+  const Sym3 m{2, 1, 0, 2, 0, 5};
+  const Eigen3 e = eigen_symmetric3(m);
+  EXPECT_NEAR(e.values[0], 1.0f, 1e-4f);
+  EXPECT_NEAR(e.values[1], 3.0f, 1e-4f);
+  EXPECT_NEAR(e.values[2], 5.0f, 1e-4f);
+  expect_is_eigenpair(m, 1.0f, e.vectors[0], 1e-3f);
+  expect_is_eigenpair(m, 5.0f, e.vectors[2], 1e-3f);
+}
+
+TEST(Eigen3, EigenvaluesSumToTrace) {
+  Rng rng(101);
+  for (int trial = 0; trial < 500; ++trial) {
+    Sym3 m;
+    m.xx = rng.uniformf(-5, 5);
+    m.xy = rng.uniformf(-5, 5);
+    m.xz = rng.uniformf(-5, 5);
+    m.yy = rng.uniformf(-5, 5);
+    m.yz = rng.uniformf(-5, 5);
+    m.zz = rng.uniformf(-5, 5);
+    const Eigen3 e = eigen_symmetric3(m);
+    EXPECT_NEAR(e.values[0] + e.values[1] + e.values[2], m.trace(), 1e-3f);
+    EXPECT_LE(e.values[0], e.values[1] + 1e-5f);
+    EXPECT_LE(e.values[1], e.values[2] + 1e-5f);
+  }
+}
+
+TEST(Eigen3, RandomPsdEigenpairsVerify) {
+  // Build PSD matrices as covariance of random point sets; verify both
+  // extreme eigenpairs against the definition.
+  Rng rng(102);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Vec3> pts;
+    for (int i = 0; i < 30; ++i) {
+      pts.push_back(Vec3{rng.uniformf(-2, 2), rng.uniformf(-2, 2),
+                         rng.uniformf(-2, 2)});
+    }
+    const Sym3 cov = covariance3(pts.begin(), pts.end());
+    const Eigen3 e = eigen_symmetric3(cov);
+    EXPECT_GE(e.values[0], -1e-4f);  // PSD
+    const float scale = std::max(1.0f, e.values[2]);
+    expect_is_eigenpair(cov, e.values[0], e.vectors[0], 2e-3f * scale);
+    expect_is_eigenpair(cov, e.values[2], e.vectors[2], 2e-3f * scale);
+    // Vectors orthogonal.
+    EXPECT_NEAR(dot(e.vectors[0], e.vectors[2]), 0.0f, 2e-2f);
+  }
+}
+
+TEST(Covariance3, MeanAndSpread) {
+  const std::vector<Vec3> pts{{1, 0, 0}, {-1, 0, 0}, {0, 0, 0}};
+  Vec3 mean;
+  const Sym3 cov = covariance3(pts.begin(), pts.end(), &mean);
+  EXPECT_EQ(mean, (Vec3{0, 0, 0}));
+  EXPECT_NEAR(cov.xx, 2.0f / 3.0f, 1e-6f);
+  EXPECT_EQ(cov.yy, 0.0f);
+  EXPECT_EQ(cov.zz, 0.0f);
+}
+
+TEST(Covariance3, EmptySetIsZero) {
+  const std::vector<Vec3> pts;
+  const Sym3 cov = covariance3(pts.begin(), pts.end());
+  EXPECT_EQ(cov.trace(), 0.0f);
+}
+
+TEST(NormalEstimation, FlatPlaneNormalIsZ) {
+  // Points on the z=0 plane: smallest-eigenvalue direction must be +-z.
+  Rng rng(103);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back(Vec3::xy(rng.uniformf(-1, 1), rng.uniformf(-1, 1)));
+  }
+  const Sym3 cov = covariance3(pts.begin(), pts.end());
+  const Vec3 n = normal_from_covariance(cov);
+  EXPECT_NEAR(std::fabs(n.z), 1.0f, 1e-3f);
+}
+
+TEST(NormalEstimation, TiltedPlane) {
+  // Plane x + y + z = 0: normal (1,1,1)/sqrt(3).
+  Rng rng(104);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 200; ++i) {
+    const float u = rng.uniformf(-1, 1);
+    const float v = rng.uniformf(-1, 1);
+    // Basis of the plane: (1,-1,0)/sqrt2 and (1,1,-2)/sqrt6.
+    pts.push_back(Vec3{u * 0.7071f + v * 0.4082f,
+                       -u * 0.7071f + v * 0.4082f, -v * 0.8165f});
+  }
+  const Sym3 cov = covariance3(pts.begin(), pts.end());
+  const Vec3 n = normal_from_covariance(cov);
+  const float align = std::fabs(dot(n, normalized(Vec3{1, 1, 1})));
+  EXPECT_NEAR(align, 1.0f, 1e-2f);
+}
+
+TEST(SurfaceVariation, FlatVsIsotropic) {
+  Rng rng(105);
+  std::vector<Vec3> flat;
+  std::vector<Vec3> ball;
+  for (int i = 0; i < 300; ++i) {
+    flat.push_back(Vec3::xy(rng.uniformf(-1, 1), rng.uniformf(-1, 1)));
+    ball.push_back(Vec3{rng.uniformf(-1, 1), rng.uniformf(-1, 1),
+                        rng.uniformf(-1, 1)});
+  }
+  const float sv_flat =
+      surface_variation(covariance3(flat.begin(), flat.end()));
+  const float sv_ball =
+      surface_variation(covariance3(ball.begin(), ball.end()));
+  EXPECT_LT(sv_flat, 0.01f);
+  EXPECT_GT(sv_ball, 0.2f);
+  EXPECT_LE(sv_ball, 1.0f / 3.0f + 1e-4f);
+}
+
+}  // namespace
+}  // namespace rtd::geom

@@ -1,0 +1,162 @@
+#include "dbscan/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dbscan/sequential.hpp"
+#include "data/generators.hpp"
+#include "dbscan_test_util.hpp"
+
+namespace rtd::dbscan {
+namespace {
+
+using geom::Vec3;
+
+TEST(Equivalence, IdenticalClusteringsAreEquivalent) {
+  const auto pts = testutil::two_squares_and_outlier();
+  const Params params{1.5f, 3};
+  const auto c = sequential_dbscan(pts, params);
+  const auto eq = check_equivalent(pts, params, c, c);
+  EXPECT_TRUE(eq.equivalent) << eq.reason;
+}
+
+TEST(Equivalence, LabelRenamingIsEquivalent) {
+  const auto pts = testutil::two_squares_and_outlier();
+  const Params params{1.5f, 3};
+  const auto a = sequential_dbscan(pts, params);
+  Clustering b = a;
+  for (auto& l : b.labels) {
+    if (l != kNoiseLabel) l = 1 - l;  // swap cluster ids 0 <-> 1
+  }
+  const auto eq = check_equivalent(pts, params, a, b);
+  EXPECT_TRUE(eq.equivalent) << eq.reason;
+}
+
+TEST(Equivalence, CoreFlagMismatchDetected) {
+  const auto pts = testutil::two_squares_and_outlier();
+  const Params params{1.5f, 3};
+  const auto a = sequential_dbscan(pts, params);
+  Clustering b = a;
+  b.is_core[0] = 0;
+  const auto eq = check_equivalent(pts, params, a, b);
+  EXPECT_FALSE(eq.equivalent);
+  EXPECT_NE(eq.reason.find("core flag"), std::string::npos);
+}
+
+TEST(Equivalence, MergedClustersDetected) {
+  const auto pts = testutil::two_squares_and_outlier();
+  const Params params{1.5f, 3};
+  const auto a = sequential_dbscan(pts, params);
+  Clustering b = a;
+  for (auto& l : b.labels) {
+    if (l != kNoiseLabel) l = 0;  // collapse both clusters
+  }
+  b.cluster_count = 1;
+  const auto eq = check_equivalent(pts, params, a, b);
+  EXPECT_FALSE(eq.equivalent);
+  EXPECT_NE(eq.reason.find("partition"), std::string::npos);
+}
+
+TEST(Equivalence, NoiseMismatchDetected) {
+  const auto pts = testutil::two_squares_and_outlier();
+  const Params params{1.5f, 3};
+  const auto a = sequential_dbscan(pts, params);
+  Clustering b = a;
+  b.labels[8] = 0;  // outlier forced into cluster 0
+  const auto eq = check_equivalent(pts, params, a, b);
+  EXPECT_FALSE(eq.equivalent);
+}
+
+TEST(Equivalence, DifferentValidBorderAssignmentsAreEquivalent) {
+  const auto pts = testutil::ambiguous_border();
+  const Params params{2.05f, 6};
+  const auto a = sequential_dbscan(pts, params);
+  ASSERT_FALSE(a.is_core[testutil::kAmbiguousBridgeIndex]);
+  ASSERT_NE(a.labels[testutil::kAmbiguousBridgeIndex], kNoiseLabel);
+
+  // Reassign the bridge point to the other knot's cluster: still valid.
+  Clustering b = a;
+  const std::int32_t other =
+      a.labels[testutil::kAmbiguousBridgeIndex] == a.labels[0] ? a.labels[12] : a.labels[0];
+  b.labels[testutil::kAmbiguousBridgeIndex] = other;
+  const auto eq = check_equivalent(pts, params, a, b);
+  EXPECT_TRUE(eq.equivalent) << eq.reason;
+}
+
+TEST(Equivalence, InvalidBorderAssignmentDetected) {
+  const auto pts = testutil::two_squares_and_outlier();
+  const Params params{1.2f, 4};
+  auto a = sequential_dbscan(pts, params);
+  // Manufacture an invalid assignment: border/noise point assigned to a
+  // far-away cluster.
+  Clustering b = a;
+  if (b.labels[8] == kNoiseLabel && b.cluster_count > 0) {
+    b.labels[8] = 0;
+    const auto eq = check_equivalent(pts, params, a, b);
+    EXPECT_FALSE(eq.equivalent);
+  }
+}
+
+TEST(CheckValid, AcceptsReferenceOutput) {
+  const auto dataset = data::taxi_gps(2000, 61);
+  const Params params{0.3f, 10};
+  const auto c = sequential_dbscan(dataset.points, params);
+  const auto r = check_valid(dataset.points, params, c);
+  EXPECT_TRUE(r.equivalent) << r.reason;
+}
+
+TEST(CheckValid, RejectsWrongCoreFlag) {
+  const auto pts = testutil::chain(10);
+  const Params params{1.1f, 3};
+  auto c = sequential_dbscan(pts, params);
+  c.is_core[0] = 1;  // endpoint is not actually core
+  const auto r = check_valid(pts, params, c);
+  EXPECT_FALSE(r.equivalent);
+}
+
+TEST(CheckValid, RejectsSplitCluster) {
+  const auto pts = testutil::chain(10);
+  const Params params{1.1f, 3};
+  auto c = sequential_dbscan(pts, params);
+  // Split the single chain cluster in half: adjacent cores get different
+  // labels -> invalid.
+  for (std::size_t i = 5; i < pts.size(); ++i) c.labels[i] = 1;
+  c.cluster_count = 2;
+  const auto r = check_valid(pts, params, c);
+  EXPECT_FALSE(r.equivalent);
+}
+
+TEST(CheckValid, RejectsEmptyClusterLabel) {
+  const auto pts = testutil::chain(10);
+  const Params params{1.1f, 3};
+  auto c = sequential_dbscan(pts, params);
+  c.cluster_count = 2;  // label 1 never used
+  const auto r = check_valid(pts, params, c);
+  EXPECT_FALSE(r.equivalent);
+}
+
+TEST(Ari, IdenticalPartitionsScoreOne) {
+  const std::vector<std::int32_t> a{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+}
+
+TEST(Ari, RenamedPartitionsScoreOne) {
+  const std::vector<std::int32_t> a{0, 0, 1, 1, 2, 2};
+  const std::vector<std::int32_t> b{2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), 1.0);
+}
+
+TEST(Ari, DisagreementScoresBelowOne) {
+  const std::vector<std::int32_t> a{0, 0, 0, 1, 1, 1};
+  const std::vector<std::int32_t> b{0, 0, 1, 1, 1, 1};
+  const double ari = adjusted_rand_index(a, b);
+  EXPECT_LT(ari, 1.0);
+  EXPECT_GT(ari, 0.0);
+}
+
+TEST(Ari, DegenerateSingleClusterScoresOne) {
+  const std::vector<std::int32_t> a{0, 0, 0};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+}
+
+}  // namespace
+}  // namespace rtd::dbscan

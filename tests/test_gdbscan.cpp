@@ -1,0 +1,113 @@
+#include "dbscan/gdbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.hpp"
+#include "dbscan_test_util.hpp"
+
+namespace rtd::dbscan {
+namespace {
+
+using testutil::expect_matches_reference;
+
+TEST(Gdbscan, RejectsBadParams) {
+  const std::vector<geom::Vec3> pts{{0, 0, 0}};
+  EXPECT_THROW(gdbscan(pts, {0.0f, 3}), std::invalid_argument);
+  EXPECT_THROW(gdbscan(pts, {1.0f, 0}), std::invalid_argument);
+}
+
+TEST(Gdbscan, EmptyInput) {
+  const std::vector<geom::Vec3> pts;
+  const auto r = gdbscan(pts, {1.0f, 3});
+  EXPECT_EQ(r.clustering.size(), 0u);
+  EXPECT_EQ(r.edge_count, 0u);
+}
+
+TEST(Gdbscan, MatchesReferenceOnHandCheckedData) {
+  const auto pts = testutil::two_squares_and_outlier();
+  const Params params{1.5f, 3};
+  const auto r = gdbscan(pts, params);
+  expect_matches_reference(pts, params, r.clustering, "gdbscan");
+}
+
+TEST(Gdbscan, MatchesReferenceOnAmbiguousBorder) {
+  const auto pts = testutil::ambiguous_border();
+  const Params params{2.05f, 6};
+  const auto r = gdbscan(pts, params);
+  expect_matches_reference(pts, params, r.clustering, "gdbscan");
+}
+
+class GdbscanDatasetTest
+    : public ::testing::TestWithParam<std::tuple<data::PaperDataset, float,
+                                                 std::uint32_t>> {};
+
+TEST_P(GdbscanDatasetTest, MatchesReference) {
+  const auto [which, eps, min_pts] = GetParam();
+  const auto dataset = data::make_paper_dataset(which, 2000, 78);
+  const Params params{eps, min_pts};
+  const auto r = gdbscan(dataset.points, params);
+  expect_matches_reference(dataset.points, params, r.clustering, "gdbscan");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperDatasets, GdbscanDatasetTest,
+    ::testing::Values(
+        std::make_tuple(data::PaperDataset::k3DRoad, 0.5f, 10u),
+        std::make_tuple(data::PaperDataset::kPorto, 0.3f, 10u),
+        std::make_tuple(data::PaperDataset::kNgsim, 0.05f, 10u),
+        std::make_tuple(data::PaperDataset::k3DIono, 2.0f, 10u)));
+
+TEST(Gdbscan, EdgeCountMatchesDegreeSum) {
+  const auto pts = testutil::chain(10);  // each interior point has 3 nbrs
+  const auto r = gdbscan(pts, {1.1f, 3});
+  // Chain of 10 with eps 1.1: degrees are 2 at the ends, 3 inside (self
+  // included): 2*2 + 8*3 = 28 directed edges.
+  EXPECT_EQ(r.edge_count, 28u);
+  EXPECT_GT(r.graph_bytes, 0u);
+}
+
+TEST(Gdbscan, ThrowsDeviceMemoryErrorWhenGraphTooLarge) {
+  // A dense blob where every point neighbors every other: n^2 edges.
+  const auto dataset = data::single_blob(2000, 0.01f, 41);
+  GdbscanOptions opts;
+  opts.memory_budget_bytes = 1 << 20;  // 1 MiB: far too small for 4M edges
+  try {
+    gdbscan(dataset.points, {1.0f, 10}, opts);
+    FAIL() << "expected DeviceMemoryError";
+  } catch (const DeviceMemoryError& e) {
+    EXPECT_GT(e.required, e.budget);
+    EXPECT_EQ(e.budget, opts.memory_budget_bytes);
+  }
+}
+
+TEST(Gdbscan, SucceedsWithinBudget) {
+  const auto dataset = data::taxi_gps(2000, 42);
+  GdbscanOptions opts;
+  opts.memory_budget_bytes = 1ull << 30;
+  const auto r = gdbscan(dataset.points, {0.3f, 10}, opts);
+  EXPECT_LE(r.graph_bytes, opts.memory_budget_bytes);
+  expect_matches_reference(dataset.points, {0.3f, 10}, r.clustering,
+                           "gdbscan");
+}
+
+TEST(Gdbscan, SingleThreadMatchesParallel) {
+  const auto dataset = data::two_rings(2000, 43);
+  const Params params{0.8f, 5};
+  GdbscanOptions serial;
+  serial.threads = 1;
+  const auto a = gdbscan(dataset.points, params, serial);
+  const auto b = gdbscan(dataset.points, params);
+  const auto eq =
+      check_equivalent(dataset.points, params, a.clustering, b.clustering);
+  EXPECT_TRUE(eq.equivalent) << eq.reason;
+}
+
+TEST(Gdbscan, ReportsPhaseTimes) {
+  const auto dataset = data::taxi_gps(1500, 44);
+  const auto r = gdbscan(dataset.points, {0.3f, 10});
+  EXPECT_GT(r.graph_build_seconds, 0.0);
+  EXPECT_GE(r.bfs_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace rtd::dbscan

@@ -1,0 +1,148 @@
+#include "data/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace rtd::data {
+namespace {
+
+TEST(Generators, RequestedSizes) {
+  for (const std::size_t n : {0u, 1u, 100u, 5000u}) {
+    EXPECT_EQ(road_network(n).size(), n);
+    EXPECT_EQ(taxi_gps(n).size(), n);
+    EXPECT_EQ(vehicle_trajectories(n).size(), n);
+    EXPECT_EQ(ionosphere3d(n).size(), n);
+  }
+}
+
+TEST(Generators, DeterministicForSeed) {
+  const auto a = road_network(1000, 42);
+  const auto b = road_network(1000, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.points[i], b.points[i]);
+  }
+  const auto c = road_network(1000, 43);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff = any_diff || !(a.points[i] == c.points[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generators, TwoDimensionalDataHasZeroZ) {
+  for (const auto& d :
+       {road_network(500), taxi_gps(500), vehicle_trajectories(500),
+        two_rings(500), single_blob(500),
+        gaussian_blobs(500, 3, 1.0f, 20.0f, 2),
+        uniform_cube(500, 10.0f, 2)}) {
+    EXPECT_EQ(d.dims, 2) << d.name;
+    for (const auto& p : d.points) {
+      EXPECT_EQ(p.z, 0.0f) << d.name;
+    }
+  }
+}
+
+TEST(Generators, ThreeDimensionalDataUsesZ) {
+  const auto iono = ionosphere3d(2000);
+  EXPECT_EQ(iono.dims, 3);
+  const auto bounds = iono.bounds();
+  EXPECT_GT(bounds.extent().z, 1.0f);
+}
+
+TEST(Generators, NgsimHasHeavyDuplication) {
+  // The §V-C regime relies on many repeated coordinates (stalled vehicles).
+  const auto d = vehicle_trajectories(20000);
+  std::set<std::pair<float, float>> unique;
+  for (const auto& p : d.points) unique.insert({p.x, p.y});
+  EXPECT_LT(unique.size(), d.size() * 3 / 4)
+      << "expected substantial coordinate duplication";
+}
+
+TEST(Generators, NgsimPointsLieOnLanes) {
+  const auto d = vehicle_trajectories(5000);
+  // All x coordinates within the 5-lane corridor (5 * 3.7m, plus wander).
+  for (const auto& p : d.points) {
+    EXPECT_GT(p.x, -1.0f);
+    EXPECT_LT(p.x, 5 * 3.7f + 1.0f);
+    EXPECT_GE(p.y, 0.0f);
+    EXPECT_LT(p.y, 1200.0f);
+  }
+}
+
+TEST(Generators, BlobsClusterAroundKCenters) {
+  const auto d = gaussian_blobs(10000, 4, 0.5f, 100.0f, 2, 9);
+  // Most points must lie within a few stddev of some region; crude check:
+  // dataset bounds are much larger than blob spread, and points are not
+  // uniform (nearest-neighbor distances are small).
+  EXPECT_EQ(d.size(), 10000u);
+  const auto bounds = d.bounds();
+  EXPECT_GT(bounds.extent().x, 10.0f);
+}
+
+TEST(Generators, TwoRingsRadii) {
+  const auto d = two_rings(10000, 3);
+  std::size_t outer = 0;
+  std::size_t inner = 0;
+  std::size_t noise = 0;
+  for (const auto& p : d.points) {
+    const float r = length(p);
+    if (r > 8.5f && r < 11.5f) {
+      ++outer;
+    } else if (r > 2.5f && r < 5.5f) {
+      ++inner;
+    } else {
+      ++noise;
+    }
+  }
+  EXPECT_GT(outer, d.size() / 4);
+  EXPECT_GT(inner, d.size() / 4);
+  EXPECT_LT(noise, d.size() / 4);
+}
+
+TEST(Generators, UniformCubeCoversExtent) {
+  const auto d = uniform_cube(20000, 10.0f, 3, 11);
+  const auto bounds = d.bounds();
+  EXPECT_LT(bounds.lo.x, 0.5f);
+  EXPECT_GT(bounds.hi.x, 9.5f);
+  EXPECT_LT(bounds.lo.z, 0.5f);
+  EXPECT_GT(bounds.hi.z, 9.5f);
+}
+
+TEST(Generators, PaperDatasetDispatch) {
+  EXPECT_EQ(make_paper_dataset(PaperDataset::k3DRoad, 100).name,
+            "road_network");
+  EXPECT_EQ(make_paper_dataset(PaperDataset::kPorto, 100).name, "taxi_gps");
+  EXPECT_EQ(make_paper_dataset(PaperDataset::kNgsim, 100).name,
+            "vehicle_trajectories");
+  EXPECT_EQ(make_paper_dataset(PaperDataset::k3DIono, 100).name,
+            "ionosphere3d");
+}
+
+TEST(Generators, ToStringNames) {
+  EXPECT_STREQ(to_string(PaperDataset::k3DRoad), "3DRoad");
+  EXPECT_STREQ(to_string(PaperDataset::kPorto), "Porto");
+  EXPECT_STREQ(to_string(PaperDataset::kNgsim), "NGSIM");
+  EXPECT_STREQ(to_string(PaperDataset::k3DIono), "3DIono");
+}
+
+TEST(Generators, InvalidArgumentsThrow) {
+  EXPECT_THROW(gaussian_blobs(10, 0, 1.0f, 10.0f), std::invalid_argument);
+  EXPECT_THROW(gaussian_blobs(10, 3, 1.0f, 10.0f, 4), std::invalid_argument);
+  EXPECT_THROW(uniform_cube(10, 1.0f, 1), std::invalid_argument);
+}
+
+TEST(Dataset, TruncateKeepsPrefix) {
+  auto d = taxi_gps(1000, 5);
+  const auto first = d.points[0];
+  d.truncate(10);
+  EXPECT_EQ(d.size(), 10u);
+  EXPECT_EQ(d.points[0], first);
+  d.truncate(100);  // growing is a no-op
+  EXPECT_EQ(d.size(), 10u);
+}
+
+}  // namespace
+}  // namespace rtd::data

@@ -1,0 +1,133 @@
+#include "data/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/generators.hpp"
+
+namespace rtd::data {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("rtd_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, SaveLoadRoundTrip2D) {
+  const auto original = taxi_gps(500, 17);
+  save_csv(original, path("d2.csv"));
+  const auto loaded = load_csv(path("d2.csv"), "roundtrip");
+  EXPECT_EQ(loaded.dims, 2);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(loaded.points[i].x, original.points[i].x, 1e-4f);
+    EXPECT_NEAR(loaded.points[i].y, original.points[i].y, 1e-4f);
+    EXPECT_EQ(loaded.points[i].z, 0.0f);
+  }
+}
+
+TEST_F(IoTest, SaveLoadRoundTrip3D) {
+  const auto original = ionosphere3d(300, 18);
+  save_csv(original, path("d3.csv"));
+  const auto loaded = load_csv(path("d3.csv"));
+  EXPECT_EQ(loaded.dims, 3);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(loaded.points[i].z, original.points[i].z, 1e-2f);
+  }
+}
+
+TEST_F(IoTest, LoadSkipsHeader) {
+  {
+    std::ofstream f(path("h.csv"));
+    f << "x,y\n1.0,2.0\n3.0,4.0\n";
+  }
+  const auto d = load_csv(path("h.csv"));
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_FLOAT_EQ(d.points[0].x, 1.0f);
+  EXPECT_FLOAT_EQ(d.points[1].y, 4.0f);
+}
+
+TEST_F(IoTest, LoadWithoutHeaderWorks) {
+  {
+    std::ofstream f(path("nh.csv"));
+    f << "1.5,2.5\n3.5,4.5\n";
+  }
+  const auto d = load_csv(path("nh.csv"));
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_FLOAT_EQ(d.points[0].x, 1.5f);
+}
+
+TEST_F(IoTest, LoadRejectsBadColumnCounts) {
+  {
+    std::ofstream f(path("bad.csv"));
+    f << "1,2\n1,2,3,4\n";
+  }
+  EXPECT_THROW(load_csv(path("bad.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, LoadRejectsInconsistentDims) {
+  {
+    std::ofstream f(path("mixed.csv"));
+    f << "1,2\n1,2,3\n";
+  }
+  EXPECT_THROW(load_csv(path("mixed.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, LoadRejectsNonNumericBody) {
+  {
+    std::ofstream f(path("alpha.csv"));
+    f << "1,2\nfoo,bar\n";
+  }
+  EXPECT_THROW(load_csv(path("alpha.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_csv(path("nope.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, EmptyFileGivesEmptyDataset) {
+  {
+    std::ofstream f(path("empty.csv"));
+  }
+  const auto d = load_csv(path("empty.csv"));
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST_F(IoTest, SaveLabeledCsvWritesLabels) {
+  const auto d = taxi_gps(10, 19);
+  std::vector<std::int32_t> labels(10, 3);
+  labels[0] = -1;
+  save_labeled_csv(d, labels, path("labeled.csv"));
+
+  std::ifstream f(path("labeled.csv"));
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x,y,label");
+  std::getline(f, line);
+  EXPECT_NE(line.find(",-1"), std::string::npos);
+}
+
+TEST_F(IoTest, SaveLabeledCsvRejectsSizeMismatch) {
+  const auto d = taxi_gps(10, 20);
+  const std::vector<std::int32_t> labels(5, 0);
+  EXPECT_THROW(save_labeled_csv(d, labels, path("x.csv")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtd::data

@@ -1,0 +1,92 @@
+#include "core/kdist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/rt_dbscan.hpp"
+#include "data/generators.hpp"
+
+namespace rtd::core {
+namespace {
+
+TEST(Kdist, RejectsZeroK) {
+  const std::vector<geom::Vec3> pts{{0, 0, 0}};
+  EXPECT_THROW(kdist_graph(pts, 0), std::invalid_argument);
+}
+
+TEST(Kdist, EmptyInput) {
+  const std::vector<geom::Vec3> pts;
+  const auto r = kdist_graph(pts, 4);
+  EXPECT_TRUE(r.sorted_kdist.empty());
+  EXPECT_EQ(r.suggested_eps, 0.0f);
+}
+
+TEST(Kdist, GraphIsSortedDescending) {
+  const auto dataset = data::taxi_gps(2000, 301);
+  const auto r = kdist_graph(dataset.points, 4);
+  ASSERT_EQ(r.sorted_kdist.size(), dataset.size());
+  EXPECT_TRUE(std::is_sorted(r.sorted_kdist.begin(), r.sorted_kdist.end(),
+                             std::greater<float>()));
+  EXPECT_GT(r.suggested_eps, 0.0f);
+}
+
+TEST(Kdist, KneeIndexOfSyntheticElbow) {
+  // A curve that drops steeply then flattens: knee at the bend.
+  std::vector<float> curve;
+  for (int i = 0; i < 20; ++i) {
+    curve.push_back(100.0f - 5.0f * static_cast<float>(i));  // steep
+  }
+  for (int i = 0; i < 80; ++i) {
+    curve.push_back(5.0f - 0.05f * static_cast<float>(i));  // flat tail
+  }
+  const std::size_t knee = knee_index_of(curve);
+  EXPECT_GE(knee, 10u);
+  EXPECT_LE(knee, 35u);
+}
+
+TEST(Kdist, KneeDegenerateInputs) {
+  EXPECT_EQ(knee_index_of(std::vector<float>{}), 0u);
+  EXPECT_EQ(knee_index_of(std::vector<float>{3.0f}), 0u);
+  EXPECT_EQ(knee_index_of(std::vector<float>{3.0f, 1.0f}), 1u);
+  // Constant curve: defined fallback (middle).
+  const std::vector<float> flat(10, 2.0f);
+  EXPECT_EQ(knee_index_of(flat), 5u);
+}
+
+TEST(Kdist, SuggestedEpsSeparatesBlobsFromNoise) {
+  // Dense blobs + sparse noise: clustering with the suggested eps (and
+  // minPts = k+1) must find roughly the planted blobs, clustering most
+  // blob points and rejecting most of the background.
+  const std::size_t n_blob = 4000;
+  auto dataset = data::gaussian_blobs(n_blob, 5, 0.5f, 80.0f, 2, 302);
+  auto noise = data::uniform_cube(400, 80.0f, 2, 303);
+  dataset.points.insert(dataset.points.end(), noise.points.begin(),
+                        noise.points.end());
+
+  const std::uint32_t k = 4;
+  const auto kd = kdist_graph(dataset.points, k);
+  ASSERT_GT(kd.suggested_eps, 0.0f);
+
+  const auto r =
+      rt_dbscan(dataset.points, {kd.suggested_eps, k + 1});
+  EXPECT_GE(r.clustering.cluster_count, 3u);
+  EXPECT_LE(r.clustering.cluster_count, 60u);
+  // Most blob points clustered.
+  std::size_t blob_clustered = 0;
+  for (std::size_t i = 0; i < n_blob; ++i) {
+    blob_clustered += r.clustering.labels[i] != dbscan::kNoiseLabel;
+  }
+  EXPECT_GT(blob_clustered, n_blob * 9 / 10);
+}
+
+TEST(Kdist, LargerKGivesLargerEps) {
+  const auto dataset = data::taxi_gps(3000, 304);
+  const auto k4 = kdist_graph(dataset.points, 4);
+  const auto k16 = kdist_graph(dataset.points, 16);
+  EXPECT_GT(k16.suggested_eps, k4.suggested_eps * 0.8f)
+      << "k-distances are monotone in k; the knee should not collapse";
+}
+
+}  // namespace
+}  // namespace rtd::core

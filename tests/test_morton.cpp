@@ -1,0 +1,132 @@
+#include "geom/morton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rtd::geom {
+namespace {
+
+TEST(Morton, ExpandCompactRoundTrip) {
+  for (std::uint32_t v = 0; v < 1024; ++v) {
+    EXPECT_EQ(compact_bits_10(expand_bits_10(v)), v);
+  }
+}
+
+TEST(Morton, ExpandSpreadsBits) {
+  // 0b11 -> 0b1001
+  EXPECT_EQ(expand_bits_10(0b11u), 0b1001u);
+  // 0b111 -> 0b1001001
+  EXPECT_EQ(expand_bits_10(0b111u), 0b1001001u);
+}
+
+TEST(Morton, CodesAre30Bit) {
+  EXPECT_LT(morton3(1.0f, 1.0f, 1.0f), 1u << 30);
+  EXPECT_EQ(morton3(0.0f, 0.0f, 0.0f), 0u);
+}
+
+TEST(Morton, ClampsOutOfRangeInput) {
+  EXPECT_EQ(morton3(-1.0f, -5.0f, -0.1f), morton3(0.0f, 0.0f, 0.0f));
+  EXPECT_EQ(morton3(2.0f, 1.5f, 7.0f), morton3(1.0f, 1.0f, 1.0f));
+}
+
+TEST(Morton, DecodeRecoversQuantizedCell) {
+  Rng rng(7);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const float x = rng.uniformf(0.0f, 1.0f);
+    const float y = rng.uniformf(0.0f, 1.0f);
+    const float z = rng.uniformf(0.0f, 1.0f);
+    const Vec3 decoded = morton3_decode(morton3(x, y, z));
+    // Decoded cell centers are within half a cell (1/2048) of the input.
+    EXPECT_NEAR(decoded.x, x, 0.5f / 1024.0f + 1e-6f);
+    EXPECT_NEAR(decoded.y, y, 0.5f / 1024.0f + 1e-6f);
+    EXPECT_NEAR(decoded.z, z, 0.5f / 1024.0f + 1e-6f);
+  }
+}
+
+TEST(Morton, LocalityAlongAxis) {
+  // Nearby quantized cells along one axis differ less in code than cells at
+  // opposite corners.
+  const auto near_a = morton3(0.1f, 0.5f, 0.5f);
+  const auto near_b = morton3(0.1004f, 0.5f, 0.5f);  // same cell or adjacent
+  const auto far_b = morton3(0.9f, 0.9f, 0.9f);
+  EXPECT_LE(near_b ^ near_a, far_b ^ near_a);
+}
+
+TEST(Morton, InSceneBoundsNormalizes) {
+  const Aabb scene(Vec3{-10, -10, -10}, Vec3{10, 10, 10});
+  EXPECT_EQ(morton3_in(scene, Vec3{-10, -10, -10}), 0u);
+  EXPECT_EQ(morton3_in(scene, Vec3{10, 10, 10}),
+            morton3(1.0f, 1.0f, 1.0f));
+  // Center maps to the middle cell on each axis.
+  const auto mid = morton3_in(scene, Vec3{0, 0, 0});
+  EXPECT_EQ(mid, morton3(0.5f, 0.5f, 0.5f));
+}
+
+TEST(Morton, DegenerateSceneAxisIsHandled) {
+  // A 2-D dataset: z extent is zero; codes must still be valid and equal in
+  // the z component.
+  const Aabb scene(Vec3{0, 0, 0}, Vec3{1, 1, 0});
+  const auto a = morton3_in(scene, Vec3{0.2f, 0.7f, 0.0f});
+  const auto b = morton3_in(scene, Vec3{0.9f, 0.1f, 0.0f});
+  EXPECT_NE(a, b);
+}
+
+TEST(Morton, BatchMatchesScalar) {
+  Rng rng(8);
+  std::vector<Vec3> points;
+  Aabb scene;
+  for (int i = 0; i < 500; ++i) {
+    points.push_back(Vec3{rng.uniformf(-3, 9), rng.uniformf(2, 4),
+                          rng.uniformf(-1, 1)});
+    scene.grow(points.back());
+  }
+  const auto codes = morton_codes(points, scene);
+  ASSERT_EQ(codes.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(codes[i], morton3_in(scene, points[i]));
+  }
+}
+
+TEST(Morton, CommonPrefixLength) {
+  EXPECT_EQ(common_prefix_length(0u, 0u), 32);
+  EXPECT_EQ(common_prefix_length(0u, 1u), 31);
+  EXPECT_EQ(common_prefix_length(0u, 1u << 29), 2);  // 30-bit codes
+  EXPECT_EQ(common_prefix_length(0b1010u, 0b1000u), 30);
+}
+
+TEST(Morton, SortedCodesGroupSpatially) {
+  // Points in two well-separated clusters must form two contiguous runs in
+  // Morton order.
+  std::vector<Vec3> points;
+  Aabb scene;
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    points.push_back(Vec3{rng.uniformf(0.0f, 0.1f),
+                          rng.uniformf(0.0f, 0.1f), 0.0f});
+    points.push_back(Vec3{rng.uniformf(0.9f, 1.0f),
+                          rng.uniformf(0.9f, 1.0f), 0.0f});
+  }
+  for (const auto& p : points) scene.grow(p);
+  auto codes = morton_codes(points, scene);
+  std::sort(codes.begin(), codes.end());
+  // The two clusters differ in the top expanded bits: the max code of the
+  // low cluster must be below the min code of the high cluster.
+  const auto low_max = morton3(0.11f, 0.11f, 0.0f);
+  int transitions = 0;
+  bool in_high = codes.front() > low_max;
+  for (const auto c : codes) {
+    const bool high = c > low_max;
+    if (high != in_high) {
+      ++transitions;
+      in_high = high;
+    }
+  }
+  EXPECT_LE(transitions, 1);
+}
+
+}  // namespace
+}  // namespace rtd::geom

@@ -1,0 +1,186 @@
+// Property-based (metamorphic) tests on DBSCAN invariants, run against
+// RT-DBSCAN (the contribution) with the sequential implementation as an
+// oracle where needed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/rt_dbscan.hpp"
+#include "dbscan/equivalence.hpp"
+#include "data/generators.hpp"
+
+namespace rtd {
+namespace {
+
+using dbscan::check_valid;
+using dbscan::Params;
+using geom::Vec3;
+
+data::Dataset random_dataset(std::uint64_t seed) {
+  // Rotate through generators for variety.
+  switch (seed % 5) {
+    case 0: return data::taxi_gps(1500, seed);
+    case 1: return data::road_network(1500, seed);
+    case 2: return data::gaussian_blobs(1500, 4, 0.6f, 30.0f, 2, seed);
+    case 3: return data::ionosphere3d(1500, seed);
+    default: return data::two_rings(1500, seed);
+  }
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, OutputIsInternallyValid) {
+  const auto dataset = random_dataset(GetParam());
+  const Params params{dataset.dims == 3 ? 2.0f : 0.4f, 8};
+  const auto r = core::rt_dbscan(dataset.points, params);
+  const auto valid = check_valid(dataset.points, params, r.clustering);
+  EXPECT_TRUE(valid.equivalent) << valid.reason;
+}
+
+TEST_P(SeedSweep, TranslationInvariance) {
+  // DBSCAN structure must be invariant under rigid translation.
+  auto dataset = random_dataset(GetParam() + 100);
+  const Params params{dataset.dims == 3 ? 2.0f : 0.4f, 8};
+  const auto before = core::rt_dbscan(dataset.points, params);
+
+  const Vec3 shift{123.0f, -55.0f, dataset.dims == 3 ? 17.0f : 0.0f};
+  for (auto& p : dataset.points) p += shift;
+  const auto after = core::rt_dbscan(dataset.points, params);
+
+  EXPECT_EQ(before.clustering.is_core, after.clustering.is_core);
+  EXPECT_EQ(before.clustering.cluster_count, after.clustering.cluster_count);
+  EXPECT_EQ(before.clustering.noise_count(), after.clustering.noise_count());
+  EXPECT_GT(dbscan::adjusted_rand_index(before.clustering.labels,
+                                        after.clustering.labels),
+            0.99);
+}
+
+TEST_P(SeedSweep, UniformScalingWithEpsScalesIdentically) {
+  // Scaling all coordinates and eps by the same factor preserves structure.
+  auto dataset = random_dataset(GetParam() + 200);
+  const float base_eps = dataset.dims == 3 ? 2.0f : 0.4f;
+  const Params params{base_eps, 8};
+  const auto before = core::rt_dbscan(dataset.points, params);
+
+  const float k = 3.0f;
+  for (auto& p : dataset.points) p *= k;
+  // Scale slightly above k*eps to absorb float rounding of boundary pairs
+  // (points at distance exactly eps can flip with scaled arithmetic).
+  const Params scaled{base_eps * k * 1.0001f, 8};
+  const auto after = core::rt_dbscan(dataset.points, scaled);
+
+  // Allow a tiny number of boundary flips from float rounding.
+  std::size_t core_flips = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    core_flips += before.clustering.is_core[i] != after.clustering.is_core[i];
+  }
+  EXPECT_LE(core_flips, dataset.size() / 200);
+}
+
+TEST_P(SeedSweep, EpsMonotonicity) {
+  // Growing eps can only grow each point's neighborhood: the core-point set
+  // is monotone in eps.
+  const auto dataset = random_dataset(GetParam() + 300);
+  const float eps_small = dataset.dims == 3 ? 1.0f : 0.25f;
+  const auto small = core::rt_dbscan(dataset.points, {eps_small, 8});
+  const auto large = core::rt_dbscan(dataset.points, {eps_small * 2, 8});
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_LE(small.clustering.is_core[i], large.clustering.is_core[i])
+        << "point " << i << " lost core status when eps grew";
+    EXPECT_LE(small.neighbor_counts[i], large.neighbor_counts[i]);
+  }
+}
+
+TEST_P(SeedSweep, MinPtsMonotonicity) {
+  // Growing minPts can only shrink the core set.
+  const auto dataset = random_dataset(GetParam() + 400);
+  const float eps = dataset.dims == 3 ? 2.0f : 0.4f;
+  const auto lo = core::rt_dbscan(dataset.points, {eps, 5});
+  const auto hi = core::rt_dbscan(dataset.points, {eps, 25});
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_GE(lo.clustering.is_core[i], hi.clustering.is_core[i]);
+  }
+  EXPECT_GE(lo.clustering.core_count(), hi.clustering.core_count());
+  // And neighbor counts are identical (independent of minPts).
+  EXPECT_EQ(lo.neighbor_counts, hi.neighbor_counts);
+}
+
+TEST_P(SeedSweep, DuplicatedDatasetKeepsStructure) {
+  // Appending an exact copy of every point doubles every neighbor count + 1
+  // (the twin); with doubled minPts - adjusted threshold the core set can
+  // only grow.  Weak but implementation-revealing invariant: clustering
+  // remains valid and cluster count cannot explode.
+  auto dataset = random_dataset(GetParam() + 500);
+  dataset.points.resize(1000);
+  const float eps = dataset.dims == 3 ? 2.0f : 0.4f;
+  const auto before = core::rt_dbscan(dataset.points, {eps, 8});
+
+  auto doubled = dataset.points;
+  doubled.insert(doubled.end(), dataset.points.begin(),
+                 dataset.points.end());
+  const auto after = core::rt_dbscan(doubled, {eps, 16});
+
+  const auto valid = check_valid(doubled, {eps, 16}, after.clustering);
+  EXPECT_TRUE(valid.equivalent) << valid.reason;
+  // A point and its twin always share a fate.
+  for (std::size_t i = 0; i < dataset.points.size(); ++i) {
+    EXPECT_EQ(after.clustering.is_core[i],
+              after.clustering.is_core[i + dataset.points.size()]);
+  }
+  // Each original core point has (2*count+1) >= 16 neighbors now iff
+  // count >= 8 before (count excludes self; twin adds one).
+  for (std::size_t i = 0; i < dataset.points.size(); ++i) {
+    const bool was_core = before.neighbor_counts[i] + 1 >= 8;
+    EXPECT_EQ(bool(after.clustering.is_core[i]), was_core) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Properties, NoisePointsHaveNoCoreNeighbors) {
+  const auto dataset = data::taxi_gps(3000, 999);
+  const Params params{0.3f, 12};
+  const auto r = core::rt_dbscan(dataset.points, params);
+  const float e2 = params.eps_squared();
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (r.clustering.labels[i] != dbscan::kNoiseLabel) continue;
+    for (std::size_t j = 0; j < dataset.size(); ++j) {
+      if (r.clustering.is_core[j]) {
+        EXPECT_GT(geom::distance_squared(dataset.points[i],
+                                         dataset.points[j]),
+                  e2)
+            << "noise point " << i << " within eps of core " << j;
+      }
+    }
+  }
+}
+
+TEST(Properties, ClusterCountBoundedByCoreCount) {
+  const auto dataset = data::gaussian_blobs(3000, 10, 0.5f, 60.0f, 2, 1000);
+  const auto r = core::rt_dbscan(dataset.points, {0.4f, 6});
+  EXPECT_LE(r.clustering.cluster_count, r.clustering.core_count());
+}
+
+TEST(Properties, PermutationInvariance) {
+  // Reversing the point order must not change the structure.
+  auto dataset = data::two_rings(2000, 1001);
+  const Params params{0.8f, 5};
+  const auto forward = core::rt_dbscan(dataset.points, params);
+
+  std::reverse(dataset.points.begin(), dataset.points.end());
+  const auto backward = core::rt_dbscan(dataset.points, params);
+
+  EXPECT_EQ(forward.clustering.cluster_count,
+            backward.clustering.cluster_count);
+  EXPECT_EQ(forward.clustering.noise_count(),
+            backward.clustering.noise_count());
+  const std::size_t n = dataset.points.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(forward.clustering.is_core[i],
+              backward.clustering.is_core[n - 1 - i]);
+  }
+}
+
+}  // namespace
+}  // namespace rtd

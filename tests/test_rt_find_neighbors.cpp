@@ -1,0 +1,171 @@
+#include "core/rt_find_neighbors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "data/generators.hpp"
+#include "rt/context.hpp"
+
+namespace rtd::core {
+namespace {
+
+using geom::Vec3;
+
+std::set<std::uint32_t> brute_neighbors(std::span<const Vec3> points,
+                                        const Vec3& q, float eps,
+                                        std::uint32_t self) {
+  std::set<std::uint32_t> out;
+  const float e2 = eps * eps;
+  for (std::uint32_t i = 0; i < points.size(); ++i) {
+    if (i != self && geom::distance_squared(q, points[i]) <= e2) {
+      out.insert(i);
+    }
+  }
+  return out;
+}
+
+TEST(RtFindNeighbors, RejectsNonPositiveRadius) {
+  rt::Context ctx;
+  EXPECT_THROW(ctx.build_spheres({{0, 0, 0}}, 0.0f), std::invalid_argument);
+}
+
+TEST(RtFindNeighbors, CountsMatchBruteForceOnRandom3D) {
+  Rng rng(91);
+  std::vector<Vec3> points;
+  for (int i = 0; i < 4000; ++i) {
+    points.push_back(Vec3{rng.uniformf(0, 10), rng.uniformf(0, 10),
+                          rng.uniformf(0, 10)});
+  }
+  const float eps = 0.5f;
+  rt::Context ctx;
+  const auto accel = ctx.build_spheres(points, eps);
+
+  rt::TraversalStats stats;
+  for (std::uint32_t i = 0; i < points.size(); i += 13) {
+    const auto expected = brute_neighbors(points, points[i], eps, i);
+    EXPECT_EQ(rt_count_neighbors(accel, points[i], i, stats),
+              expected.size())
+        << "point " << i;
+  }
+}
+
+TEST(RtFindNeighbors, CollectMatchesBruteForceIds) {
+  const auto dataset = data::taxi_gps(3000, 92);
+  const float eps = 0.3f;
+  rt::Context ctx;
+  const auto accel = ctx.build_spheres(dataset.points, eps);
+
+  rt::TraversalStats stats;
+  std::vector<std::uint32_t> got;
+  for (std::uint32_t i = 0; i < dataset.size(); i += 17) {
+    rt_collect_neighbors(accel, dataset.points[i], i, got, stats);
+    const std::set<std::uint32_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set.size(), got.size()) << "duplicates for point " << i;
+    EXPECT_EQ(got_set,
+              brute_neighbors(dataset.points, dataset.points[i], eps, i));
+  }
+}
+
+TEST(RtFindNeighbors, ExternalQueryPointNeedsNoSelfFilter) {
+  const std::vector<Vec3> points{{0, 0, 0}, {1, 0, 0}, {5, 5, 0}};
+  rt::Context ctx;
+  const auto accel = ctx.build_spheres(points, 1.5f);
+  rt::TraversalStats stats;
+  // Query from a location that is not a dataset point.
+  const Vec3 q{0.5f, 0.0f, 0.0f};
+  EXPECT_EQ(rt_count_neighbors(accel, q, kNoSelf, stats), 2u);
+}
+
+TEST(RtFindNeighbors, SelfFilterExcludesExactlyTheQueryPoint) {
+  // Duplicate coordinates: the self filter is by id, not by position.
+  const std::vector<Vec3> points{{2, 2, 0}, {2, 2, 0}, {2, 2, 0}};
+  rt::Context ctx;
+  const auto accel = ctx.build_spheres(points, 0.5f);
+  rt::TraversalStats stats;
+  EXPECT_EQ(rt_count_neighbors(accel, points[0], 0, stats), 2u);
+  EXPECT_EQ(rt_count_neighbors(accel, points[0], kNoSelf, stats), 3u);
+}
+
+TEST(RtFindNeighbors, BoundaryDistanceIsInclusive) {
+  const std::vector<Vec3> points{{0, 0, 0}, {1, 0, 0}};
+  rt::Context ctx;
+  const auto accel = ctx.build_spheres(points, 1.0f);
+  rt::TraversalStats stats;
+  EXPECT_EQ(rt_count_neighbors(accel, points[0], 0, stats), 1u);
+}
+
+TEST(RtFindNeighbors, ForNeighborsVisitsEachOnce) {
+  const auto dataset = data::road_network(2000, 93);
+  const float eps = 0.5f;
+  rt::Context ctx;
+  const auto accel = ctx.build_spheres(dataset.points, eps);
+  rt::TraversalStats stats;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    std::vector<std::uint32_t> seen;
+    rt_for_neighbors(accel, dataset.points[i], i,
+                     [&](std::uint32_t j) { seen.push_back(j); }, stats);
+    std::set<std::uint32_t> unique(seen.begin(), seen.end());
+    EXPECT_EQ(unique.size(), seen.size());
+  }
+}
+
+TEST(RtFindNeighbors, IntersectionProgramCalledOnlyOnCandidates) {
+  // The Intersection-call count must be >= the true neighbor count and
+  // bounded by the primitive count (sanity of hardware counters).
+  const auto dataset = data::taxi_gps(2000, 94);
+  rt::Context ctx;
+  const auto accel = ctx.build_spheres(dataset.points, 0.3f);
+  rt::TraversalStats stats;
+  const auto count =
+      rt_count_neighbors(accel, dataset.points[0], 0, stats);
+  EXPECT_GE(stats.isect_calls, count);
+  EXPECT_LE(stats.isect_calls, dataset.size());
+  EXPECT_EQ(stats.rays, 1u);
+}
+
+TEST(RtFindNeighbors, LaunchRunsAllRays) {
+  const auto dataset = data::taxi_gps(5000, 95);
+  const float eps = 0.3f;
+  rt::Context ctx;
+  const auto accel = ctx.build_spheres(dataset.points, eps);
+
+  std::vector<std::uint32_t> counts(dataset.size());
+  const rt::LaunchStats launch = ctx.launch(
+      dataset.size(), [&](std::size_t i, rt::TraversalStats& st) {
+        counts[i] = rt_count_neighbors(accel, dataset.points[i],
+                                       static_cast<std::uint32_t>(i), st);
+      });
+  EXPECT_EQ(launch.work.rays, dataset.size());
+  EXPECT_GT(launch.nodes_per_ray(), 0.0);
+  EXPECT_GT(launch.isect_per_ray(), 0.0);
+  EXPECT_GT(launch.seconds, 0.0);
+
+  // Spot-check against brute force.
+  Rng rng(96);
+  for (int t = 0; t < 50; ++t) {
+    const auto i = static_cast<std::uint32_t>(rng.below(dataset.size()));
+    EXPECT_EQ(counts[i], brute_neighbors(dataset.points, dataset.points[i],
+                                         eps, i)
+                             .size());
+  }
+}
+
+TEST(RtFindNeighbors, TwoDimensionalDataEmbedsCorrectly) {
+  // 2-D points at z=0 with the paper's z-direction ray convention.
+  const auto dataset = data::road_network(3000, 97);
+  const float eps = 0.4f;
+  rt::Context ctx;
+  const auto accel = ctx.build_spheres(dataset.points, eps);
+  rt::TraversalStats stats;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(
+        rt_count_neighbors(accel, dataset.points[i], i, stats),
+        brute_neighbors(dataset.points, dataset.points[i], eps, i).size());
+  }
+}
+
+}  // namespace
+}  // namespace rtd::core

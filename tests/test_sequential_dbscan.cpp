@@ -1,0 +1,152 @@
+#include "dbscan/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dbscan/equivalence.hpp"
+#include "data/generators.hpp"
+#include "dbscan_test_util.hpp"
+
+namespace rtd::dbscan {
+namespace {
+
+using geom::Vec3;
+using testutil::chain;
+using testutil::two_squares_and_outlier;
+
+TEST(SequentialDbscan, RejectsBadParams) {
+  const std::vector<Vec3> pts{{0, 0, 0}};
+  EXPECT_THROW(sequential_dbscan(pts, {0.0f, 3}), std::invalid_argument);
+  EXPECT_THROW(sequential_dbscan(pts, {-1.0f, 3}), std::invalid_argument);
+  EXPECT_THROW(sequential_dbscan(pts, {1.0f, 0}), std::invalid_argument);
+}
+
+TEST(SequentialDbscan, EmptyInput) {
+  const std::vector<Vec3> pts;
+  const auto c = sequential_dbscan(pts, {1.0f, 3});
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.cluster_count, 0u);
+}
+
+TEST(SequentialDbscan, SinglePointIsNoiseUnlessMinPtsOne) {
+  const std::vector<Vec3> pts{{0, 0, 0}};
+  const auto noise = sequential_dbscan(pts, {1.0f, 2});
+  EXPECT_EQ(noise.labels[0], kNoiseLabel);
+  EXPECT_EQ(noise.cluster_count, 0u);
+
+  const auto core = sequential_dbscan(pts, {1.0f, 1});
+  EXPECT_EQ(core.labels[0], 0);
+  EXPECT_TRUE(core.is_core[0]);
+  EXPECT_EQ(core.cluster_count, 1u);
+}
+
+TEST(SequentialDbscan, TwoSquaresAndOutlier) {
+  const auto pts = two_squares_and_outlier();
+  const auto c = sequential_dbscan(pts, {1.5f, 3});
+  EXPECT_EQ(c.cluster_count, 2u);
+  // First 4 points share a cluster.
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(c.labels[i], c.labels[0]);
+  // Next 4 share a different cluster.
+  for (int i = 5; i < 8; ++i) EXPECT_EQ(c.labels[i], c.labels[4]);
+  EXPECT_NE(c.labels[0], c.labels[4]);
+  // Outlier is noise.
+  EXPECT_EQ(c.labels[8], kNoiseLabel);
+  EXPECT_FALSE(c.is_core[8]);
+  // All square points are core (each has 4 neighbors incl self >= 3).
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(c.is_core[i]) << i;
+}
+
+TEST(SequentialDbscan, ChainFormsSingleCluster) {
+  const auto pts = chain(50);
+  const auto c = sequential_dbscan(pts, {1.1f, 3});
+  EXPECT_EQ(c.cluster_count, 1u);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(c.labels[i], 0);
+  }
+  // Endpoints have only 2 neighbors (self + 1): border points.
+  EXPECT_FALSE(c.is_core[0]);
+  EXPECT_FALSE(c.is_core[49]);
+  EXPECT_TRUE(c.is_core[1]);
+  EXPECT_TRUE(c.is_core[25]);
+}
+
+TEST(SequentialDbscan, ChainSplitsWhenEpsTooSmall) {
+  auto pts = chain(20);
+  pts.push_back(geom::Vec3::xy(30.0f, 0.0f));  // gap then second group
+  pts.push_back(geom::Vec3::xy(31.0f, 0.0f));
+  pts.push_back(geom::Vec3::xy(32.0f, 0.0f));
+  const auto c = sequential_dbscan(pts, {1.1f, 3});
+  EXPECT_EQ(c.cluster_count, 2u);
+  EXPECT_NE(c.labels[0], c.labels[21]);
+}
+
+TEST(SequentialDbscan, MinPtsOneMakesEverythingCore) {
+  const auto pts = two_squares_and_outlier();
+  const auto c = sequential_dbscan(pts, {1.5f, 1});
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_TRUE(c.is_core[i]);
+    EXPECT_NE(c.labels[i], kNoiseLabel);
+  }
+  // The outlier forms its own singleton cluster.
+  EXPECT_EQ(c.cluster_count, 3u);
+}
+
+TEST(SequentialDbscan, HugeMinPtsMakesEverythingNoise) {
+  const auto pts = two_squares_and_outlier();
+  const auto c = sequential_dbscan(pts, {1.5f, 100});
+  EXPECT_EQ(c.cluster_count, 0u);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(c.labels[i], kNoiseLabel);
+  }
+}
+
+TEST(SequentialDbscan, DuplicatePointsClusterTogether) {
+  std::vector<Vec3> pts(10, Vec3::xy(1.0f, 1.0f));
+  const auto c = sequential_dbscan(pts, {0.5f, 5});
+  EXPECT_EQ(c.cluster_count, 1u);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_TRUE(c.is_core[i]);
+    EXPECT_EQ(c.labels[i], 0);
+  }
+}
+
+TEST(SequentialDbscan, ResultIsInternallyValid) {
+  const auto dataset = data::taxi_gps(3000, 21);
+  const Params params{0.3f, 10};
+  const auto c = sequential_dbscan(dataset.points, params);
+  const auto valid = check_valid(dataset.points, params, c);
+  EXPECT_TRUE(valid.equivalent) << valid.reason;
+  EXPECT_GT(c.cluster_count, 0u);
+}
+
+TEST(SequentialDbscan, ValidAcrossParameterSweep) {
+  const auto dataset = data::gaussian_blobs(2000, 5, 0.8f, 40.0f, 2, 22);
+  for (const float eps : {0.2f, 0.5f, 1.5f}) {
+    for (const std::uint32_t min_pts : {2u, 5u, 20u}) {
+      const Params params{eps, min_pts};
+      const auto c = sequential_dbscan(dataset.points, params);
+      const auto valid = check_valid(dataset.points, params, c);
+      EXPECT_TRUE(valid.equivalent)
+          << "eps=" << eps << " minPts=" << min_pts << ": " << valid.reason;
+    }
+  }
+}
+
+TEST(SequentialDbscan, TwoRingsSeparateClusters) {
+  const auto dataset = data::two_rings(4000, 23);
+  const auto c = sequential_dbscan(dataset.points, {0.8f, 5});
+  // The two rings are non-convex clusters; DBSCAN should find at least the
+  // two of them (noise fraction may add small extra clusters).
+  EXPECT_GE(c.cluster_count, 2u);
+  EXPECT_LT(c.noise_count(), dataset.size() / 2);
+}
+
+TEST(SequentialDbscan, BreakdownTimingsSum) {
+  const auto dataset = data::taxi_gps(2000, 24);
+  const auto c = sequential_dbscan(dataset.points, {0.3f, 10});
+  EXPECT_GT(c.timings.total_seconds, 0.0);
+  EXPECT_LE(c.timings.index_build_seconds + c.timings.clustering_seconds(),
+            c.timings.total_seconds * 1.01 + 1e-6);
+}
+
+}  // namespace
+}  // namespace rtd::dbscan

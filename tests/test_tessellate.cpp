@@ -1,0 +1,135 @@
+#include "rt/tessellate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace rtd::rt {
+namespace {
+
+using geom::Triangle;
+using geom::Vec3;
+
+TEST(Icosphere, FaceCounts) {
+  EXPECT_EQ(unit_icosphere(0).size(), 20u);
+  EXPECT_EQ(unit_icosphere(1).size(), 80u);
+  EXPECT_EQ(unit_icosphere(2).size(), 320u);
+}
+
+TEST(Icosphere, RejectsInvalidSubdivisions) {
+  EXPECT_THROW(unit_icosphere(-1), std::invalid_argument);
+  EXPECT_THROW(unit_icosphere(5), std::invalid_argument);
+}
+
+TEST(Icosphere, VerticesOnUnitSphere) {
+  for (const int sub : {0, 1, 2}) {
+    for (const auto& t : unit_icosphere(sub)) {
+      EXPECT_NEAR(length(t.a), 1.0f, 1e-5f);
+      EXPECT_NEAR(length(t.b), 1.0f, 1e-5f);
+      EXPECT_NEAR(length(t.c), 1.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(Icosphere, InsphereRadiusIncreasesWithSubdivision) {
+  const float r0 = insphere_radius(unit_icosphere(0));
+  const float r1 = insphere_radius(unit_icosphere(1));
+  const float r2 = insphere_radius(unit_icosphere(2));
+  EXPECT_LT(r0, r1);
+  EXPECT_LT(r1, r2);
+  EXPECT_GT(r0, 0.7f);   // icosahedron inradius ~ 0.7947
+  EXPECT_LT(r2, 1.0f);   // always strictly inside the unit sphere
+}
+
+TEST(Icosphere, MeshIsWatertightByAreaHeuristic) {
+  // Total solid angle check: sum of face areas should be close to the
+  // sphere's surface area (from below, chords cut corners).
+  for (const int sub : {1, 2}) {
+    double area = 0.0;
+    for (const auto& t : unit_icosphere(sub)) {
+      area += 0.5 * length(cross(t.b - t.a, t.c - t.a));
+    }
+    const double sphere_area = 4.0 * M_PI;
+    EXPECT_LT(area, sphere_area);
+    EXPECT_GT(area, sphere_area * 0.9);
+  }
+}
+
+TEST(Tessellate, ProducesOneMeshPerCenter) {
+  const std::vector<Vec3> centers{{0, 0, 0}, {5, 0, 0}, {0, 5, 0}};
+  const auto mesh = tessellate_spheres(centers, 1.0f, 1);
+  EXPECT_EQ(mesh.triangles_per_sphere, 80);
+  EXPECT_EQ(mesh.triangles.size(), 3u * 80u);
+  EXPECT_EQ(mesh.owners.size(), mesh.triangles.size());
+  for (std::size_t i = 0; i < mesh.owners.size(); ++i) {
+    EXPECT_EQ(mesh.owners[i], i / 80);
+  }
+}
+
+TEST(Tessellate, RejectsNonPositiveRadius) {
+  const std::vector<Vec3> centers{{0, 0, 0}};
+  EXPECT_THROW(tessellate_spheres(centers, 0.0f, 1), std::invalid_argument);
+  EXPECT_THROW(tessellate_spheres(centers, -1.0f, 1), std::invalid_argument);
+}
+
+TEST(Tessellate, CircumscribesTrueSphere) {
+  // Every point on the true ε-sphere must be inside the tessellated
+  // polyhedron: a ray from such a point away from the center must cross a
+  // triangle.  Sample random directions.
+  const std::vector<Vec3> centers{{2, 3, 4}};
+  const float radius = 0.7f;
+  const auto mesh = tessellate_spheres(centers, radius, 1);
+  EXPECT_GE(mesh.scale, radius);
+
+  Rng rng(55);
+  for (int trial = 0; trial < 500; ++trial) {
+    Vec3 dir{static_cast<float>(rng.normal()),
+             static_cast<float>(rng.normal()),
+             static_cast<float>(rng.normal())};
+    dir = normalized(dir);
+    const Vec3 on_sphere = centers[0] + dir * radius;
+    // Walk outward: must exit through the mesh within (scale - radius) + eps.
+    const geom::Ray ray{on_sphere, dir, 0.0f,
+                        1.05f * (mesh.scale - radius) + 1e-3f};
+    bool hit = false;
+    for (const auto& t : mesh.triangles) {
+      if (geom::ray_intersects_triangle(ray, t)) {
+        hit = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(hit) << "sphere surface point escaped the tessellation, "
+                     << "trial " << trial;
+  }
+}
+
+TEST(Tessellate, PointQueryExitRayHitsOwnMesh) {
+  // The exact geometry RT-DBSCAN's triangle mode relies on: a +z ray from a
+  // point inside the true sphere must hit the sphere's tessellation within
+  // tmax = 1.01 * (eps + scale).
+  const float eps = 0.5f;
+  Rng rng(56);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec3 center{rng.uniformf(-3, 3), rng.uniformf(-3, 3), 0.0f};
+    const auto mesh = tessellate_spheres({&center, 1}, eps, 1);
+    // Random query point strictly inside the true sphere (2-D plane).
+    const float r = eps * static_cast<float>(rng.uniform());
+    const float theta = rng.uniformf(0.0f, 6.2831853f);
+    const Vec3 q = center + Vec3{r * std::cos(theta), r * std::sin(theta),
+                                 0.0f};
+    const geom::Ray ray{q, {0, 0, 1}, 0.0f, 1.01f * (eps + mesh.scale)};
+    bool hit = false;
+    for (const auto& t : mesh.triangles) {
+      if (geom::ray_intersects_triangle(ray, t)) {
+        hit = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(hit) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace rtd::rt

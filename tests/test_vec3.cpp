@@ -1,0 +1,96 @@
+#include "geom/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtd::geom {
+namespace {
+
+TEST(Vec3, DefaultConstructsToZero) {
+  const Vec3 v;
+  EXPECT_EQ(v.x, 0.0f);
+  EXPECT_EQ(v.y, 0.0f);
+  EXPECT_EQ(v.z, 0.0f);
+}
+
+TEST(Vec3, XyEmbedsAtZeroZ) {
+  const Vec3 v = Vec3::xy(3.0f, -4.0f);
+  EXPECT_EQ(v.x, 3.0f);
+  EXPECT_EQ(v.y, -4.0f);
+  EXPECT_EQ(v.z, 0.0f);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0f, 2.0f, 3.0f};
+  const Vec3 b{4.0f, -5.0f, 6.0f};
+  EXPECT_EQ(a + b, (Vec3{5.0f, -3.0f, 9.0f}));
+  EXPECT_EQ(a - b, (Vec3{-3.0f, 7.0f, -3.0f}));
+  EXPECT_EQ(a * 2.0f, (Vec3{2.0f, 4.0f, 6.0f}));
+  EXPECT_EQ(2.0f * a, a * 2.0f);
+  EXPECT_EQ(a / 2.0f, (Vec3{0.5f, 1.0f, 1.5f}));
+  EXPECT_EQ(-a, (Vec3{-1.0f, -2.0f, -3.0f}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1.0f, 1.0f, 1.0f};
+  v += Vec3{1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(v, (Vec3{2.0f, 3.0f, 4.0f}));
+  v -= Vec3{1.0f, 1.0f, 1.0f};
+  EXPECT_EQ(v, (Vec3{1.0f, 2.0f, 3.0f}));
+  v *= 3.0f;
+  EXPECT_EQ(v, (Vec3{3.0f, 6.0f, 9.0f}));
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1.0f, 0.0f, 0.0f};
+  const Vec3 y{0.0f, 1.0f, 0.0f};
+  const Vec3 z{0.0f, 0.0f, 1.0f};
+  EXPECT_EQ(dot(x, y), 0.0f);
+  EXPECT_EQ(dot(x, x), 1.0f);
+  EXPECT_EQ(cross(x, y), z);
+  EXPECT_EQ(cross(y, z), x);
+  EXPECT_EQ(cross(z, x), y);
+  EXPECT_EQ(cross(y, x), -z);
+}
+
+TEST(Vec3, LengthAndNormalize) {
+  const Vec3 v{3.0f, 4.0f, 0.0f};
+  EXPECT_FLOAT_EQ(length_squared(v), 25.0f);
+  EXPECT_FLOAT_EQ(length(v), 5.0f);
+  const Vec3 n = normalized(v);
+  EXPECT_FLOAT_EQ(length(n), 1.0f);
+  EXPECT_FLOAT_EQ(n.x, 0.6f);
+  EXPECT_FLOAT_EQ(n.y, 0.8f);
+}
+
+TEST(Vec3, NormalizeZeroVectorIsZero) {
+  const Vec3 n = normalized(Vec3{});
+  EXPECT_EQ(n, Vec3{});
+}
+
+TEST(Vec3, MinMax) {
+  const Vec3 a{1.0f, 5.0f, -2.0f};
+  const Vec3 b{3.0f, 2.0f, -1.0f};
+  EXPECT_EQ(min(a, b), (Vec3{1.0f, 2.0f, -2.0f}));
+  EXPECT_EQ(max(a, b), (Vec3{3.0f, 5.0f, -1.0f}));
+}
+
+TEST(Vec3, DistanceMatchesDistanceSquared) {
+  const Vec3 a{0.0f, 0.0f, 0.0f};
+  const Vec3 b{1.0f, 2.0f, 2.0f};
+  EXPECT_FLOAT_EQ(distance_squared(a, b), 9.0f);
+  EXPECT_FLOAT_EQ(distance(a, b), 3.0f);
+  EXPECT_FLOAT_EQ(distance(a, b),
+                  std::sqrt(distance_squared(a, b)));
+}
+
+TEST(Vec3, IndexOperator) {
+  const Vec3 v{7.0f, 8.0f, 9.0f};
+  EXPECT_EQ(v[0], 7.0f);
+  EXPECT_EQ(v[1], 8.0f);
+  EXPECT_EQ(v[2], 9.0f);
+}
+
+}  // namespace
+}  // namespace rtd::geom
