@@ -19,7 +19,8 @@ void run_dataset(data::PaperDataset which, const std::vector<std::size_t>& ns,
                  float eps, std::uint32_t min_pts,
                  const bench::BenchConfig& cfg, bool table1_format) {
   std::printf("-- %s (eps=%.3f, minPts=%u)%s --\n", data::to_string(which),
-              eps, min_pts, table1_format ? " [Table I format]" : "");
+              static_cast<double>(eps), min_pts,
+              table1_format ? " [Table I format]" : "");
   // Generate once at the largest size; take prefixes, as the paper does
   // ("we choose the first n points for clustering").
   auto full = data::make_paper_dataset(which, ns.back(), 2023);

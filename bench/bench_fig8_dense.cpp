@@ -55,7 +55,7 @@ void vary_size(data::Dataset& full, float eps, std::uint32_t min_pts,
                const std::vector<std::size_t>& ns,
                const bench::BenchConfig& cfg) {
   std::printf("-- Table III / Fig 8b: varying size (eps=%.4f, minPts=%u) --\n",
-              eps, min_pts);
+              static_cast<double>(eps), min_pts);
   Table table({"n", "FD dev(s)", "RT dev(s)", "speedup", "clusters"});
   const dbscan::Params params{eps, min_pts};
   for (const std::size_t n : ns) {

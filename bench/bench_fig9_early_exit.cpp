@@ -20,7 +20,7 @@ void run_dataset(data::PaperDataset which, float eps, std::uint32_t min_pts,
                  const std::vector<std::size_t>& ns,
                  const bench::BenchConfig& cfg) {
   std::printf("-- %s (eps=%.4f, minPts=%u) --\n", data::to_string(which),
-              eps, min_pts);
+              static_cast<double>(eps), min_pts);
   auto full = data::make_paper_dataset(which, ns.back(), 2023);
   const dbscan::Params params{eps, min_pts};
 

@@ -58,9 +58,9 @@ int main(int argc, char** argv) {
     runner.set_eps(eps);
     Timer t;
     const auto r = runner.run(25);
-    std::printf("  eps=%.2f: %u clusters, %zu noise, %.1f ms\n", eps,
-                r.clustering.cluster_count, r.clustering.noise_count(),
-                t.millis());
+    std::printf("  eps=%.2f: %u clusters, %zu noise, %.1f ms\n",
+                static_cast<double>(eps), r.clustering.cluster_count,
+                r.clustering.noise_count(), t.millis());
   }
   return 0;
 }

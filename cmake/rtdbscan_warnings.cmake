@@ -1,0 +1,41 @@
+# Warning configuration, split in two tiers:
+#
+#   rtdbscan_warnings        - strict set, fatal (the library must stay clean)
+#   rtdbscan_warnings_loose  - same set, non-fatal (tests/bench/examples:
+#                              gtest/benchmark macro expansions must never be
+#                              able to break the build on a new toolchain)
+#
+# Both are INTERFACE targets linked PRIVATE, so nothing leaks to consumers.
+
+set(RTDBSCAN_WARNING_FLAGS "")
+if(MSVC)
+  list(APPEND RTDBSCAN_WARNING_FLAGS /W4 /permissive-)
+else()
+  list(APPEND RTDBSCAN_WARNING_FLAGS
+    -Wall
+    -Wextra
+    -Wpedantic
+    -Wshadow
+    -Wconversion
+    -Wsign-conversion
+    -Wcast-qual
+    -Wdouble-promotion
+    -Wnon-virtual-dtor
+    -Wold-style-cast
+    -Wextra-semi
+  )
+endif()
+
+add_library(rtdbscan_warnings INTERFACE)
+target_compile_options(rtdbscan_warnings INTERFACE ${RTDBSCAN_WARNING_FLAGS})
+if(RTDBSCAN_WERROR)
+  if(MSVC)
+    target_compile_options(rtdbscan_warnings INTERFACE /WX)
+  else()
+    target_compile_options(rtdbscan_warnings INTERFACE -Werror)
+  endif()
+endif()
+
+add_library(rtdbscan_warnings_loose INTERFACE)
+target_compile_options(rtdbscan_warnings_loose
+  INTERFACE ${RTDBSCAN_WARNING_FLAGS})

@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   const auto kd = rtd::core::kdist_graph(dataset.points, k);
   std::printf("  k-distance graph: max %.4f, knee at rank %zu -> "
               "suggested eps = %.4f\n",
-              kd.sorted_kdist.front(), kd.knee_index, kd.suggested_eps);
+              static_cast<double>(kd.sorted_kdist.front()), kd.knee_index,
+              static_cast<double>(kd.suggested_eps));
 
   // Sparkline of the (downsampled) k-distance curve.
   std::printf("  curve: ");
@@ -40,7 +41,8 @@ int main(int argc, char** argv) {
       rtd::core::rt_dbscan(dataset.points, {kd.suggested_eps, k + 1});
   std::printf("  RT-DBSCAN(eps=%.4f, minPts=%u): %u clusters, %zu noise "
               "(%.1f%%), %.1f ms\n",
-              kd.suggested_eps, k + 1, r.clustering.cluster_count,
+              static_cast<double>(kd.suggested_eps), k + 1,
+              r.clustering.cluster_count,
               r.clustering.noise_count(),
               100.0 * static_cast<double>(r.clustering.noise_count()) /
                   static_cast<double>(dataset.size()),

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
 
   const auto dataset = rtd::data::taxi_gps(n);
   std::printf("minPts sweep over %zu points, eps=%.3f\n", dataset.size(),
-              eps);
+              static_cast<double>(eps));
   std::printf("%-8s %-10s %-10s %-12s %-12s\n", "minPts", "clusters",
               "noise", "run (ms)", "phase1 (ms)");
 

@@ -92,8 +92,8 @@ int main(int argc, char** argv) {
     normals[i] = rtd::geom::normal_from_covariance(cov);
     variation[i] = rtd::geom::surface_variation(cov);
     if (i < n) {
-      align_sum += std::fabs(
-          dot(normals[i], analytic_normal(cloud[i].x, cloud[i].y)));
+      align_sum += std::fabs(static_cast<double>(
+          dot(normals[i], analytic_normal(cloud[i].x, cloud[i].y))));
     }
   }
   std::printf("  normals + variation: %.1f ms\n", timer.millis());
@@ -113,7 +113,7 @@ int main(int argc, char** argv) {
   std::printf(
       "  outlier filter (variation > %.2f): flagged %zu, precision %.2f, "
       "recall %.2f\n",
-      threshold, flagged,
+      static_cast<double>(threshold), flagged,
       flagged > 0 ? static_cast<double>(true_positives) /
                         static_cast<double>(flagged)
                   : 0.0,

@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
 
   std::printf("RT-DBSCAN quickstart\n");
   std::printf("  points      : %zu\n", dataset.size());
-  std::printf("  eps / minPts: %.3f / %u\n", eps, min_pts);
+  std::printf("  eps / minPts: %.3f / %u\n", static_cast<double>(eps),
+              min_pts);
   std::printf("  clusters    : %u\n", result.cluster_count);
   std::size_t noise = 0;
   for (const auto l : result.labels) noise += (l == rtd::kNoise);

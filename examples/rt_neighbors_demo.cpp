@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   rtd::rt::Context ctx;
   const auto accel = ctx.build_spheres(dataset.points, radius);
   std::printf("RT neighbor primitive demo: %zu points, radius %.2f\n",
-              dataset.size(), radius);
+              dataset.size(), static_cast<double>(radius));
   std::printf("  BVH: %u nodes, built in %.2f ms\n",
               accel.build_stats().node_count,
               accel.build_stats().build_seconds * 1e3);

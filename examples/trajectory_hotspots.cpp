@@ -56,8 +56,9 @@ int main(int argc, char** argv) {
   const std::size_t top = std::min<std::size_t>(spots.size(), 8);
   for (std::size_t k = 0; k < top; ++k) {
     std::printf("    #%zu cluster %d: %zu points, centroid (%.2f, %.2f)\n",
-                k + 1, spots[k].id, spots[k].size, spots[k].centroid.x,
-                spots[k].centroid.y);
+                k + 1, spots[k].id, spots[k].size,
+                static_cast<double>(spots[k].centroid.x),
+                static_cast<double>(spots[k].centroid.y));
   }
   return 0;
 }

@@ -118,10 +118,16 @@ DclustPlusResult dclust_plus(std::span<const geom::Vec3> points,
       const std::uint32_t seed = seeds[static_cast<std::size_t>(s)];
 
       // Claim the seed; it may have been absorbed by a chain from an
-      // earlier round (or a concurrent one) in the meantime.
+      // earlier round (or a concurrent one) in the meantime.  A stolen core
+      // seed is itself a chain collision: both chains contain that core
+      // point, so they belong to one cluster and must be fused.
       std::uint32_t expected = kUnprocessed;
       if (!owner[seed].compare_exchange_strong(expected, chain,
                                                std::memory_order_acq_rel)) {
+        if (expected != kNoiseCandidate) {
+          chain_sets.unite(chain, expected);
+          collision_count.fetch_add(1, std::memory_order_relaxed);
+        }
         continue;
       }
 

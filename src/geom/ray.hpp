@@ -37,7 +37,7 @@ inline bool ray_intersects_aabb(const Ray& ray, const Aabb& box) {
   // the substrate supports ordinary finite rays too (tests exercise both).
   float t0 = ray.tmin;
   float t1 = ray.tmax;
-  for (int axis = 0; axis < 3; ++axis) {
+  for (std::size_t axis = 0; axis < 3; ++axis) {
     const float o = ray.origin[axis];
     const float d = ray.direction[axis];
     const float lo = box.lo[axis];

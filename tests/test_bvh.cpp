@@ -145,8 +145,8 @@ TEST_P(BvhBuilderTest, ParallelAndSerialProduceValidTrees) {
 INSTANTIATE_TEST_SUITE_P(Builders, BvhBuilderTest,
                          ::testing::Values(BuildAlgorithm::kLbvh,
                                            BuildAlgorithm::kBinnedSah),
-                         [](const auto& info) {
-                           return info.param == BuildAlgorithm::kLbvh
+                         [](const auto& param_info) {
+                           return param_info.param == BuildAlgorithm::kLbvh
                                       ? "Lbvh"
                                       : "BinnedSah";
                          });

@@ -69,8 +69,8 @@ INSTANTIATE_TEST_SUITE_P(
         Case{data::PaperDataset::kNgsim, 2000, 0.8f, 60},
         Case{data::PaperDataset::k3DIono, 2000, 2.0f, 10},
         Case{data::PaperDataset::k3DIono, 2000, 5.0f, 50}),
-    [](const auto& info) {
-      const Case& c = info.param;
+    [](const auto& param_info) {
+      const Case& c = param_info.param;
       std::string name = data::to_string(c.dataset);
       name += "_mp" + std::to_string(c.min_pts);
       return name;

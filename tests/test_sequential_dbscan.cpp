@@ -44,15 +44,15 @@ TEST(SequentialDbscan, TwoSquaresAndOutlier) {
   const auto c = sequential_dbscan(pts, {1.5f, 3});
   EXPECT_EQ(c.cluster_count, 2u);
   // First 4 points share a cluster.
-  for (int i = 1; i < 4; ++i) EXPECT_EQ(c.labels[i], c.labels[0]);
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_EQ(c.labels[i], c.labels[0]);
   // Next 4 share a different cluster.
-  for (int i = 5; i < 8; ++i) EXPECT_EQ(c.labels[i], c.labels[4]);
+  for (std::size_t i = 5; i < 8; ++i) EXPECT_EQ(c.labels[i], c.labels[4]);
   EXPECT_NE(c.labels[0], c.labels[4]);
   // Outlier is noise.
   EXPECT_EQ(c.labels[8], kNoiseLabel);
   EXPECT_FALSE(c.is_core[8]);
   // All square points are core (each has 4 neighbors incl self >= 3).
-  for (int i = 0; i < 8; ++i) EXPECT_TRUE(c.is_core[i]) << i;
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_TRUE(c.is_core[i]) << i;
 }
 
 TEST(SequentialDbscan, ChainFormsSingleCluster) {

@@ -49,7 +49,7 @@ TEST(Icosphere, MeshIsWatertightByAreaHeuristic) {
   for (const int sub : {1, 2}) {
     double area = 0.0;
     for (const auto& t : unit_icosphere(sub)) {
-      area += 0.5 * length(cross(t.b - t.a, t.c - t.a));
+      area += 0.5 * static_cast<double>(length(cross(t.b - t.a, t.c - t.a)));
     }
     const double sphere_area = 4.0 * M_PI;
     EXPECT_LT(area, sphere_area);

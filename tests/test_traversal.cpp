@@ -285,8 +285,8 @@ TEST_P(TraversalTest, StackDepthSufficientForAdversarialInput) {
 INSTANTIATE_TEST_SUITE_P(Builders, TraversalTest,
                          ::testing::Values(BuildAlgorithm::kLbvh,
                                            BuildAlgorithm::kBinnedSah),
-                         [](const auto& info) {
-                           return info.param == BuildAlgorithm::kLbvh
+                         [](const auto& param_info) {
+                           return param_info.param == BuildAlgorithm::kLbvh
                                       ? "Lbvh"
                                       : "BinnedSah";
                          });
