@@ -3,14 +3,20 @@
 // (RT spent only 48% of total time on clustering operations vs FDBSCAN's
 // 94%), while the clustering phases themselves are much faster.
 //
+// The second table sweeps every NeighborIndex backend through the unified
+// engine (dbscan/engine.hpp) on the same dataset, so the index-build vs
+// clustering trade is visible per backend, not just RT vs FDBSCAN.
+//
 //   ./bench_breakdown [--scale F] [--reps N]
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "core/rt_dbscan.hpp"
+#include "dbscan/engine.hpp"
 #include "dbscan/fdbscan.hpp"
 #include "data/generators.hpp"
+#include "index/neighbor_index.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtd;
@@ -82,5 +88,43 @@ int main(int argc, char** argv) {
   std::printf(
       "modeled clustering-only speedup (RT vs FD): %.2fx (paper: >9x)\n",
       (fd_p1 + fd_p2) / (rt_p1 + rt_p2));
+
+  // -------------------------------------------------------------------------
+  // NeighborIndex backend sweep: the same two-phase engine, every backend.
+  // -------------------------------------------------------------------------
+  std::printf("\n--- NeighborIndex backend sweep (unified engine, n=%zu) "
+              "---\n", total_n);
+  Table sweep({"backend", "build", "phase 1", "phase 2", "total",
+               "isect/query"});
+  for (const index::IndexKind kind : index::kAllIndexKinds) {
+    if (kind == index::IndexKind::kBruteForce && total_n > 20000) {
+      std::printf("  (skipping brute force at n=%zu: O(n^2) per phase)\n",
+                  total_n);
+      continue;
+    }
+    double build_s = 0.0;
+    dbscan::IndexEngineResult run;
+    bench::time_median(cfg.reps, [&] {
+      Timer build_timer;
+      const auto idx = index::make_index(dataset.points, eps, kind);
+      build_s = build_timer.seconds();
+      run = dbscan::cluster_with_index(*idx, params);
+    });
+    bench::verify(dataset.points, params, rtr.clustering, run.clustering,
+                  index::to_string(kind));
+    const double isect_per_query =
+        run.phase1.isect_per_ray() + run.phase2.isect_per_ray();
+    sweep.add_row({index::to_string(kind), Table::seconds(build_s),
+                   Table::seconds(run.phase1.seconds),
+                   Table::seconds(run.phase2.seconds),
+                   Table::seconds(build_s + run.phase1.seconds +
+                                  run.phase2.seconds),
+                   Table::num(isect_per_query, 1)});
+  }
+  if (cfg.csv) {
+    sweep.print_csv();
+  } else {
+    sweep.print();
+  }
   return 0;
 }

@@ -1,10 +1,16 @@
 // Substrate micro-benchmarks: the RT-FindNeighborhood primitive vs grid and
-// brute-force neighbor queries (google-benchmark).
+// brute-force neighbor queries (google-benchmark), plus a sweep of every
+// NeighborIndex backend through the uniform query_sphere / query_all
+// contract — the apples-to-apples comparison the pluggable index layer
+// exists for.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
 
 #include "core/rt_find_neighbors.hpp"
 #include "data/generators.hpp"
 #include "dbscan/grid_index.hpp"
+#include "index/neighbor_index.hpp"
 #include "rt/context.hpp"
 
 namespace {
@@ -81,5 +87,104 @@ BENCHMARK(BM_RtParallelLaunch)
     ->Arg(10000)
     ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// NeighborIndex backend sweep: identical query through the virtual contract.
+// ---------------------------------------------------------------------------
+
+void BM_IndexBuild(benchmark::State& state, index::IndexKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dataset = data::taxi_gps(n, 7);
+  for (auto _ : state) {
+    const auto idx = index::make_index(dataset.points, kEps, kind);
+    benchmark::DoNotOptimize(idx.get());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_IndexQueryCount(benchmark::State& state, index::IndexKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dataset = data::taxi_gps(n, 7);
+  const auto idx = index::make_index(dataset.points, kEps, kind);
+  rt::TraversalStats stats;
+  std::uint32_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        idx->query_count(dataset.points[q], kEps, q, stats));
+    q = (q + 1) % static_cast<std::uint32_t>(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The visitor path: per-neighbor FunctionRef dispatch, the overhead the
+// index layer's design notes quantify (docs/ARCHITECTURE.md).
+void BM_IndexQuerySphere(benchmark::State& state, index::IndexKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dataset = data::taxi_gps(n, 7);
+  const auto idx = index::make_index(dataset.points, kEps, kind);
+  rt::TraversalStats stats;
+  std::uint32_t q = 0;
+  for (auto _ : state) {
+    std::uint32_t visited = 0;
+    idx->query_sphere(dataset.points[q], kEps, q,
+                      [&](std::uint32_t) { ++visited; }, stats);
+    benchmark::DoNotOptimize(visited);
+    q = (q + 1) % static_cast<std::uint32_t>(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_IndexQueryAll(benchmark::State& state, index::IndexKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dataset = data::taxi_gps(n, 7);
+  const auto idx = index::make_index(dataset.points, kEps, kind);
+  for (auto _ : state) {
+    // The visitor runs concurrently across query points, so count
+    // atomically (relaxed: only the final value matters).
+    std::atomic<std::uint64_t> pairs{0};
+    idx->query_all(kEps, [&](std::uint32_t, std::uint32_t) {
+      pairs.fetch_add(1, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(pairs.load());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+
+#define RTD_INDEX_BENCH(fn, kind_name, kind, ...)                       \
+  BENCHMARK_CAPTURE(fn, kind_name, rtd::index::IndexKind::kind)         \
+      __VA_ARGS__
+
+RTD_INDEX_BENCH(BM_IndexBuild, grid, kGrid, ->Arg(100000));
+RTD_INDEX_BENCH(BM_IndexBuild, densebox, kDenseBox, ->Arg(100000));
+RTD_INDEX_BENCH(BM_IndexBuild, pointbvh, kPointBvh, ->Arg(100000));
+RTD_INDEX_BENCH(BM_IndexBuild, bvhrt, kBvhRt, ->Arg(100000));
+
+RTD_INDEX_BENCH(BM_IndexQueryCount, brute, kBruteForce, ->Arg(10000));
+RTD_INDEX_BENCH(BM_IndexQueryCount, grid, kGrid, ->Arg(10000)->Arg(100000));
+RTD_INDEX_BENCH(BM_IndexQueryCount, densebox, kDenseBox,
+                ->Arg(10000)->Arg(100000));
+RTD_INDEX_BENCH(BM_IndexQueryCount, pointbvh, kPointBvh,
+                ->Arg(10000)->Arg(100000));
+RTD_INDEX_BENCH(BM_IndexQueryCount, bvhrt, kBvhRt,
+                ->Arg(10000)->Arg(100000));
+
+RTD_INDEX_BENCH(BM_IndexQuerySphere, brute, kBruteForce, ->Arg(10000));
+RTD_INDEX_BENCH(BM_IndexQuerySphere, grid, kGrid, ->Arg(10000));
+RTD_INDEX_BENCH(BM_IndexQuerySphere, densebox, kDenseBox, ->Arg(10000));
+RTD_INDEX_BENCH(BM_IndexQuerySphere, pointbvh, kPointBvh, ->Arg(10000));
+RTD_INDEX_BENCH(BM_IndexQuerySphere, bvhrt, kBvhRt, ->Arg(10000));
+
+RTD_INDEX_BENCH(BM_IndexQueryAll, grid, kGrid,
+                ->Arg(10000)->Unit(benchmark::kMillisecond));
+RTD_INDEX_BENCH(BM_IndexQueryAll, densebox, kDenseBox,
+                ->Arg(10000)->Unit(benchmark::kMillisecond));
+RTD_INDEX_BENCH(BM_IndexQueryAll, pointbvh, kPointBvh,
+                ->Arg(10000)->Unit(benchmark::kMillisecond));
+RTD_INDEX_BENCH(BM_IndexQueryAll, bvhrt, kBvhRt,
+                ->Arg(10000)->Unit(benchmark::kMillisecond));
+
+#undef RTD_INDEX_BENCH
 
 }  // namespace

@@ -1,9 +1,13 @@
-// Quickstart: cluster a synthetic 2-D dataset with RT-DBSCAN in ~10 lines.
+// Quickstart: cluster a synthetic 2-D dataset in ~10 lines, with a
+// runtime-selectable neighbor backend.
 //
-//   ./quickstart [--n 20000] [--eps 0.4] [--minpts 10]
+//   ./quickstart [--n 20000] [--eps 0.4] [--minpts 10] [--backend auto]
 //
+// --backend is any rtd::index::IndexKind name: auto (default heuristic),
+// bvhrt (the paper's RT pipeline), pointbvh, grid, densebox, brute.
 // Demonstrates the one-call public API (rtd::cluster) and basic result
-// inspection.
+// inspection; this file is the README's "Quick use" snippet, kept
+// compiling.
 #include <cstdio>
 
 #include "common/flags.hpp"
@@ -16,21 +20,32 @@ int main(int argc, char** argv) {
   const float eps = static_cast<float>(flags.get_double("eps", 0.4));
   const auto min_pts =
       static_cast<std::uint32_t>(flags.get_int("minpts", 10));
+  const std::string backend_name = flags.get("backend", "auto");
+  const auto backend = rtd::index::parse_index_kind(backend_name);
+  if (!backend) {
+    std::fprintf(stderr,
+                 "unknown --backend '%s' (try auto, bvhrt, pointbvh, grid, "
+                 "densebox, brute)\n",
+                 backend_name.c_str());
+    return 1;
+  }
 
   // Five Gaussian blobs plus background noise in a 40x40 box.
   const rtd::data::Dataset dataset =
       rtd::data::gaussian_blobs(n, /*k=*/5, /*stddev=*/0.8f,
                                 /*extent=*/40.0f);
 
-  // The entire RT-DBSCAN pipeline in one call: sphere scene construction,
-  // hardware-style BVH build, per-point ray queries, union-find clustering.
+  // The entire pipeline in one call: neighbor-index construction (RT
+  // sphere scene, BVH, grid... per --backend), per-point ε-queries,
+  // union-find clustering.
   const rtd::ClusterResult result =
-      rtd::cluster(dataset.points, eps, min_pts);
+      rtd::cluster(dataset.points, eps, min_pts, *backend);
 
-  std::printf("RT-DBSCAN quickstart\n");
+  std::printf("rtd::cluster quickstart\n");
   std::printf("  points      : %zu\n", dataset.size());
   std::printf("  eps / minPts: %.3f / %u\n", static_cast<double>(eps),
               min_pts);
+  std::printf("  backend     : %s\n", rtd::index::to_string(*backend));
   std::printf("  clusters    : %u\n", result.cluster_count);
   std::size_t noise = 0;
   for (const auto l : result.labels) noise += (l == rtd::kNoise);

@@ -1,0 +1,47 @@
+// FunctionRef — a non-owning, non-allocating callable reference.
+//
+// The NeighborIndex interface (src/index/) dispatches per-neighbor visitor
+// callbacks across a virtual boundary; std::function would heap-allocate for
+// capturing lambdas on every query, which is unacceptable on the hot path.
+// FunctionRef stores one pointer + one trampoline and is passed by value.
+// The referenced callable must outlive the FunctionRef (always true for the
+// call-down-into-a-query pattern it exists for).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace rtd {
+
+template <typename Signature>
+class FunctionRef;
+
+/// Lightweight view of a callable with signature `R(Args...)`.
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Bind to any callable; `f` is captured by reference, not copied.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function parameters.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace rtd

@@ -8,14 +8,19 @@
 //   auto result = rtd::cluster(points, /*eps=*/0.5f, /*min_pts=*/10);
 //   // result.labels[i] in [0, result.cluster_count) or rtd::kNoise
 //
-// For parameter sweeps, baselines, the RT primitive, or the RT device
-// itself, include the specific headers re-exported below.
+//   // Pin the neighbor-query backend instead of the kAuto heuristic:
+//   auto rt = rtd::cluster(points, 0.5f, 10, rtd::index::IndexKind::kBvhRt);
+//
+// For parameter sweeps, baselines, the RT primitive, custom NeighborIndex
+// backends, or the RT device itself, include the specific headers
+// re-exported below.
 #pragma once
 
 #include "core/rt_dbscan.hpp"
 #include "core/rt_find_neighbors.hpp"
 #include "dbscan/core.hpp"
 #include "dbscan/equivalence.hpp"
+#include "index/neighbor_index.hpp"
 
 namespace rtd {
 
@@ -24,20 +29,26 @@ inline constexpr std::int32_t kNoise = dbscan::kNoiseLabel;
 
 /// Simplified result of cluster().
 struct ClusterResult {
+  /// Cluster id per point in [0, cluster_count), or kNoise.
   std::vector<std::int32_t> labels;
+  /// Core flag per point (deterministic given eps/minPts).
   std::vector<std::uint8_t> is_core;
+  /// Number of clusters found; every id below it is used.
   std::uint32_t cluster_count = 0;
+  /// Wall-clock seconds, index build included.
   double seconds = 0.0;
 };
 
-/// Cluster `points` with RT-DBSCAN using default device options.
-inline ClusterResult cluster(std::span<const geom::Vec3> points, float eps,
-                             std::uint32_t min_pts) {
-  const core::RtDbscanResult r =
-      core::rt_dbscan(points, dbscan::Params{eps, min_pts});
-  return ClusterResult{r.clustering.labels, r.clustering.is_core,
-                       r.clustering.cluster_count,
-                       r.clustering.timings.total_seconds};
-}
+/// Cluster `points` with DBSCAN(eps, min_pts).
+///
+/// `backend` selects the neighbor-index backend answering the ε-queries
+/// (see index::IndexKind and docs/ARCHITECTURE.md).  The default kAuto
+/// picks one from point count and density; kBvhRt forces the paper's RT
+/// pipeline.  All backends produce equivalent clusterings (identical core
+/// points and clusters; border-point ties may resolve differently, as
+/// DBSCAN permits).
+ClusterResult cluster(std::span<const geom::Vec3> points, float eps,
+                      std::uint32_t min_pts,
+                      index::IndexKind backend = index::IndexKind::kAuto);
 
 }  // namespace rtd

@@ -1,17 +1,15 @@
 #include "core/rt_dbscan.hpp"
 
-#include <algorithm>
 #include <atomic>
 #include <functional>
-#include <numeric>
 #include <optional>
 #include <stdexcept>
 
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
-#include "core/rt_find_neighbors.hpp"
+#include "dbscan/engine.hpp"
 #include "dsu/atomic_disjoint_set.hpp"
-#include "geom/morton.hpp"
+#include "index/bvh_rt_index.hpp"
 #include "rt/tessellate.hpp"
 
 namespace rtd::core {
@@ -43,79 +41,21 @@ void validate_params(const Params& params) {
 
 // ---------------------------------------------------------------------------
 // Sphere-geometry phases (the paper's default configuration, §III).
+//
+// Since the NeighborIndex refactor both phases are the generic engine
+// (dbscan::index_phase1 / index_phase2) running over index::BvhRtIndex —
+// the same clustering logic every other backend uses, with the RT scene
+// answering the ε-queries.
 // ---------------------------------------------------------------------------
-
-/// Launch-order permutation: identity, or Morton order of the ray origins
-/// (the RTNN ray-coherence optimization; see RtDbscanOptions).
-std::vector<std::uint32_t> launch_order(std::span<const Vec3> points,
-                                        bool reorder) {
-  std::vector<std::uint32_t> order(points.size());
-  std::iota(order.begin(), order.end(), 0u);
-  if (!reorder || points.empty()) return order;
-  geom::Aabb bounds;
-  for (const auto& p : points) bounds.grow(p);
-  std::vector<std::uint32_t> codes(points.size());
-  parallel_for(points.size(), [&](std::size_t i) {
-    codes[i] = geom::morton3_in(bounds, points[i]);
-  });
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return codes[a] < codes[b];
-                   });
-  return order;
-}
-
-/// Phase 1: one ray per point; count neighbors.  `counts` excludes self.
-rt::LaunchStats phase1_spheres(const rt::Context& ctx,
-                               const rt::SphereAccel& accel,
-                               std::span<const std::uint32_t> order,
-                               std::vector<std::uint32_t>& counts) {
-  const std::size_t n = accel.size();
-  counts.assign(n, 0);
-  return ctx.launch(n, [&](std::size_t ray, rt::TraversalStats& st) {
-    const std::uint32_t i = order[ray];
-    counts[i] = rt_count_neighbors(accel, accel.center(i), i, st);
-  });
-}
-
-/// Phase 2: one ray per core point; concurrent union-find merges (Alg. 3
-/// lines 7-18).  The clustering logic runs inside the Intersection program.
-rt::LaunchStats phase2_spheres(const rt::Context& ctx,
-                               const rt::SphereAccel& accel,
-                               std::span<const std::uint32_t> order,
-                               std::span<const std::uint8_t> is_core,
-                               dsu::AtomicDisjointSet& dsu,
-                               std::span<std::atomic<std::uint8_t>> claimed) {
-  const std::size_t n = accel.size();
-  return ctx.launch(n, [&](std::size_t ray, rt::TraversalStats& st) {
-    const std::uint32_t i = order[ray];
-    if (!is_core[i]) return;  // only core points initiate merges
-    rt_for_neighbors(
-        accel, accel.center(i), i,
-        [&](std::uint32_t j) {
-          if (is_core[j]) {
-            // Core-core merge (Alg. 3 line 10); pairs are seen from both
-            // ends, so do each merge once.
-            if (j > i) dsu.unite(i, j);
-          } else {
-            // Border point: Alg. 3's critical section (lines 12-15) — an
-            // atomic claim guarantees the point joins exactly one cluster.
-            std::uint8_t expected = 0;
-            if (claimed[j].compare_exchange_strong(
-                    expected, 1, std::memory_order_acq_rel)) {
-              dsu.unite(i, j);
-            }
-          }
-        },
-        st);
-  });
-}
 
 // ---------------------------------------------------------------------------
 // Triangle-geometry phases (§VI-C): tessellated spheres, hardware triangle
 // tests, hits delivered via AnyHit.  A ray crossing a tessellated sphere can
 // hit more than one of its triangles, so the counting phase deduplicates
-// owners with a per-thread last-ray stamp.
+// owners with a per-thread last-ray stamp.  This mode stays outside the
+// NeighborIndex layer: its query is not a point query (finite ray vs
+// tessellated shells) and the paper measured it 2-5x slower — it exists to
+// reproduce that result, not to serve as a backend.
 // ---------------------------------------------------------------------------
 
 struct TriangleQuery {
@@ -149,7 +89,7 @@ rt::LaunchStats phase1_triangles(const TriangleQuery& query,
         [&](std::size_t tid) {
           TriangleThreadCtx ctx;
           ctx.stats = &per_thread[tid];
-          ctx.stamp.assign(n, kNoSelf);
+          ctx.stamp.assign(n, index::kNoSelf);
           return ctx;
         },
         [&](TriangleThreadCtx& ctx, std::size_t i) {
@@ -268,20 +208,19 @@ RtDbscanResult rt_dbscan(std::span<const Vec3> points, const Params& params,
   if (n == 0) return result;
 
   Timer total;
-  const rt::Context ctx(options.device);
 
   if (options.geometry == GeometryMode::kSpheres) {
     // Input transformation + hardware BVH build (§III-B).
     Timer build_timer;
-    const rt::SphereAccel accel = ctx.build_spheres(
-        std::vector<Vec3>(points.begin(), points.end()), params.eps);
-    result.accel_build = accel.build_stats();
+    const index::BvhRtIndex index(points, params.eps, options.device);
+    result.accel_build = index.accel().build_stats();
     result.clustering.timings.index_build_seconds = build_timer.seconds();
 
     const std::vector<std::uint32_t> order =
-        launch_order(points, options.reorder_queries);
+        dbscan::query_launch_order(points, options.reorder_queries);
     result.phase1 =
-        phase1_spheres(ctx, accel, order, result.neighbor_counts);
+        dbscan::index_phase1(index, params, order, /*early_exit=*/false,
+                             options.device.threads, result.neighbor_counts);
     result.clustering.timings.core_phase_seconds = result.phase1.seconds;
 
     run_phase2_and_finalize(
@@ -289,10 +228,12 @@ RtDbscanResult rt_dbscan(std::span<const Vec3> points, const Params& params,
         [&](std::span<const std::uint8_t> is_core,
             dsu::AtomicDisjointSet& dsu,
             std::span<std::atomic<std::uint8_t>> claimed) {
-          return phase2_spheres(ctx, accel, order, is_core, dsu, claimed);
+          return dbscan::index_phase2(index, params.eps, order, is_core,
+                                      dsu, claimed, options.device.threads);
         });
   } else {
     Timer build_timer;
+    const rt::Context ctx(options.device);
     const rt::TriangleAccel accel = ctx.build_triangles(
         points, params.eps, options.triangle_subdivisions);
     result.accel_build = accel.build_stats();
@@ -331,8 +272,7 @@ struct RtDbscanRunner::Impl {
   std::vector<Vec3> points;
   float eps;
   RtDbscanOptions options;
-  rt::Context ctx;
-  std::optional<rt::SphereAccel> accel;
+  std::optional<index::BvhRtIndex> index;
   std::vector<std::uint32_t> order;
   double accel_build_seconds = 0.0;
   std::vector<std::uint32_t> counts;
@@ -354,11 +294,11 @@ RtDbscanRunner::RtDbscanRunner(std::vector<Vec3> points, float eps,
   impl_->points = std::move(points);
   impl_->eps = eps;
   impl_->options = options;
-  impl_->ctx = rt::Context(options.device);
 
   Timer build_timer;
-  impl_->accel.emplace(impl_->ctx.build_spheres(impl_->points, eps));
-  impl_->order = launch_order(impl_->points, options.reorder_queries);
+  impl_->index.emplace(impl_->points, eps, options.device);
+  impl_->order =
+      dbscan::query_launch_order(impl_->points, options.reorder_queries);
   impl_->accel_build_seconds = build_timer.seconds();
 }
 
@@ -373,7 +313,7 @@ void RtDbscanRunner::set_eps(float eps) {
   }
   if (eps == impl_->eps) return;
   Timer refit_timer;
-  impl_->accel->set_radius(eps);
+  impl_->index->set_radius(eps);
   impl_->accel_build_seconds = refit_timer.seconds();
   impl_->eps = eps;
   impl_->counts_cached = false;
@@ -390,15 +330,17 @@ RtDbscanResult RtDbscanRunner::run(std::uint32_t min_pts) {
   }
   const std::size_t n = impl_->points.size();
   RtDbscanResult result;
-  result.accel_build = impl_->accel->build_stats();
+  result.accel_build = impl_->index->accel().build_stats();
   result.clustering.labels.assign(n, kNoiseLabel);
   result.clustering.is_core.assign(n, 0);
   if (n == 0) return result;
 
   Timer total;
+  const Params params{impl_->eps, min_pts};
   if (!impl_->counts_cached) {
-    impl_->phase1_stats = phase1_spheres(impl_->ctx, *impl_->accel,
-                                         impl_->order, impl_->counts);
+    impl_->phase1_stats = dbscan::index_phase1(
+        *impl_->index, params, impl_->order, /*early_exit=*/false,
+        impl_->options.device.threads, impl_->counts);
     impl_->counts_cached = true;
     result.phase1 = impl_->phase1_stats;
     result.clustering.timings.index_build_seconds =
@@ -408,13 +350,13 @@ RtDbscanResult RtDbscanRunner::run(std::uint32_t min_pts) {
   // Cached runs: phase 1 cost is zero (result.phase1 default-initialized).
 
   result.neighbor_counts = impl_->counts;
-  const Params params{impl_->eps, min_pts};
   run_phase2_and_finalize(
       params, impl_->counts, result,
       [&](std::span<const std::uint8_t> is_core, dsu::AtomicDisjointSet& dsu,
           std::span<std::atomic<std::uint8_t>> claimed) {
-        return phase2_spheres(impl_->ctx, *impl_->accel, impl_->order,
-                              is_core, dsu, claimed);
+        return dbscan::index_phase2(*impl_->index, impl_->eps, impl_->order,
+                                    is_core, dsu, claimed,
+                                    impl_->options.device.threads);
       });
   result.clustering.timings.cluster_phase_seconds = result.phase2.seconds;
   result.clustering.timings.total_seconds = total.seconds();

@@ -12,17 +12,17 @@
 #pragma once
 
 #include <cstdint>
-#include <limits>
 #include <vector>
 
+#include "index/neighbor_index.hpp"
 #include "rt/scene.hpp"
 
 namespace rtd::core {
 
 /// Sentinel for "the query point is not a member of the dataset" (no
-/// self-intersection to filter).
-inline constexpr std::uint32_t kNoSelf =
-    std::numeric_limits<std::uint32_t>::max();
+/// self-intersection to filter).  Alias of index::kNoSelf — one concept,
+/// one value across the index layer and the RT primitive.
+inline constexpr std::uint32_t kNoSelf = index::kNoSelf;
 
 /// Count the dataset points within the accel's radius of q, excluding
 /// `self` (Alg. 2's `q != s` filter).  One ray trace.

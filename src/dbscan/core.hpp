@@ -1,9 +1,12 @@
 // Shared DBSCAN definitions: parameters, point classes, clustering results.
 //
-// All six implementations in this repository (sequential reference, FDBSCAN
-// with/without early exit, G-DBSCAN, CUDA-DClust+, RT-DBSCAN) consume and
-// produce these types, which is what makes them interchangeable in tests,
-// examples and benchmarks.
+// All implementations in this repository (sequential reference, FDBSCAN
+// with/without early exit, FDBSCAN-DenseBox, G-DBSCAN, CUDA-DClust+,
+// RT-DBSCAN, and the unified NeighborIndex engine in dbscan/engine.hpp)
+// consume and produce these types, which is what makes them
+// interchangeable in tests, examples and benchmarks.  Params::index
+// additionally selects the neighbor-query backend (see index/index_kind.hpp
+// and docs/ARCHITECTURE.md).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +16,7 @@
 #include <vector>
 
 #include "geom/vec3.hpp"
+#include "index/index_kind.hpp"
 
 namespace rtd::dbscan {
 
@@ -33,9 +37,18 @@ inline void require_finite(std::span<const geom::Vec3> points) {
 /// count (including the point itself, the convention of the original paper's
 /// |N_eps(p)| >= minPts with p in N_eps(p)) required for a core point.
 struct Params {
+  /// Neighborhood radius ε (inclusive: distance <= eps is a neighbor).
   float eps = 1.0f;
+  /// Core-point threshold |N_eps(p)| >= minPts, with p in N_eps(p).
   std::uint32_t min_pts = 5;
+  /// Which neighbor-index backend answers the ε-queries.  kAuto resolves to
+  /// the consuming algorithm's traditional substrate (grid for the
+  /// sequential reference, brute force for G-DBSCAN, point-BVH for
+  /// FDBSCAN) or, for the generic engine, to the density heuristic
+  /// index::choose_index_kind().
+  index::IndexKind index = index::IndexKind::kAuto;
 
+  /// ε², the quantity every exact distance filter compares against.
   [[nodiscard]] float eps_squared() const { return eps * eps; }
 };
 

@@ -1,0 +1,137 @@
+#include "dbscan/engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "geom/morton.hpp"
+
+namespace rtd::dbscan {
+
+std::vector<std::uint32_t> query_launch_order(
+    std::span<const geom::Vec3> points, bool morton) {
+  std::vector<std::uint32_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0u);
+  if (!morton || points.empty()) return order;
+  geom::Aabb bounds;
+  for (const auto& p : points) bounds.grow(p);
+  std::vector<std::uint32_t> codes(points.size());
+  parallel_for(points.size(), [&](std::size_t i) {
+    codes[i] = geom::morton3_in(bounds, points[i]);
+  });
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return codes[a] < codes[b];
+                   });
+  return order;
+}
+
+rt::LaunchStats index_phase1(const index::NeighborIndex& index,
+                             const Params& params,
+                             std::span<const std::uint32_t> order,
+                             bool early_exit, int threads,
+                             std::vector<std::uint32_t>& counts) {
+  const std::size_t n = index.size();
+  counts.assign(n, 0);
+  // Counting to minPts-1 (excluding self) is enough to decide the core
+  // test `count + 1 >= minPts`; backends that cannot terminate traversal
+  // (the RT pipeline) ignore the cap and return exact counts.
+  const std::uint32_t cap =
+      early_exit ? params.min_pts - 1 : index::kNoCap;
+  const std::span<const geom::Vec3> points = index.points();
+
+  return rt::parallel_launch(
+      n, threads, [&](rt::TraversalStats& stats, std::size_t k) {
+        const std::uint32_t i = order[k];
+        counts[i] = index.query_count(points[i], params.eps, i, stats, cap);
+      });
+}
+
+rt::LaunchStats index_phase2(const index::NeighborIndex& index, float eps,
+                             std::span<const std::uint32_t> order,
+                             std::span<const std::uint8_t> is_core,
+                             dsu::AtomicDisjointSet& dsu,
+                             std::span<std::atomic<std::uint8_t>> claimed,
+                             int threads) {
+  const std::size_t n = index.size();
+  const std::span<const geom::Vec3> points = index.points();
+
+  return rt::parallel_launch(
+      n, threads, [&](rt::TraversalStats& stats, std::size_t k) {
+        const std::uint32_t i = order[k];
+        if (!is_core[i]) return;  // only core points initiate merges
+        index.query_sphere(
+            points[i], eps, i,
+            [&](std::uint32_t j) {
+              if (is_core[j]) {
+                // Core-core merge (Alg. 3 line 10); pairs are seen from
+                // both ends, so do each merge once.
+                if (j > i) dsu.unite(i, j);
+              } else {
+                // Border point: Alg. 3's critical section (lines 12-15) —
+                // an atomic claim guarantees the point joins exactly one
+                // cluster.
+                std::uint8_t expected = 0;
+                if (claimed[j].compare_exchange_strong(
+                        expected, 1, std::memory_order_acq_rel)) {
+                  dsu.unite(i, j);
+                }
+              }
+            },
+            stats);
+      });
+}
+
+IndexEngineResult cluster_with_index(const index::NeighborIndex& index,
+                                     const Params& params,
+                                     const IndexEngineOptions& options) {
+  if (params.eps <= 0.0f) {
+    throw std::invalid_argument("cluster_with_index: eps must be positive");
+  }
+  if (params.min_pts == 0) {
+    throw std::invalid_argument("cluster_with_index: min_pts must be >= 1");
+  }
+
+  Timer total;
+  const std::size_t n = index.size();
+  IndexEngineResult result;
+  Clustering& out = result.clustering;
+  out.labels.assign(n, kNoiseLabel);
+  out.is_core.assign(n, 0);
+  if (n == 0) return result;
+
+  const std::vector<std::uint32_t> order =
+      query_launch_order(index.points(), options.reorder_queries);
+
+  result.phase1 = index_phase1(index, params, order, options.early_exit,
+                               options.threads, result.neighbor_counts);
+  out.timings.core_phase_seconds = result.phase1.seconds;
+
+  // Core test: counts exclude self; the classic |N_eps(p)| >= minPts
+  // includes it (see dbscan/core.hpp).
+  for (std::size_t i = 0; i < n; ++i) {
+    out.is_core[i] = result.neighbor_counts[i] + 1 >= params.min_pts ? 1 : 0;
+  }
+
+  dsu::AtomicDisjointSet dsu(n);
+  std::vector<std::atomic<std::uint8_t>> claimed(n);
+  parallel_for(n, [&](std::size_t i) {
+    claimed[i].store(0, std::memory_order_relaxed);
+  });
+
+  result.phase2 = index_phase2(index, params.eps, order, out.is_core, dsu,
+                               claimed, options.threads);
+  out.timings.cluster_phase_seconds = result.phase2.seconds;
+
+  finalize_labels(
+      n, [&](std::uint32_t x) { return dsu.find(x); }, out.is_core, out);
+  // Everything this function did (phases, ordering, finalization).  The
+  // caller built the index, so it overwrites this with a build-inclusive
+  // total where one is reported.
+  out.timings.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace rtd::dbscan

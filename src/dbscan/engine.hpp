@@ -1,0 +1,82 @@
+// The unified DBSCAN engine: two-phase union-find clustering over ANY
+// NeighborIndex backend.
+//
+// This is the paper's Algorithm 3 with the neighbor queries abstracted out:
+//   Phase 1 (core identification): one index query per point counts its
+//     ε-neighbors; points with >= minPts neighbors (self included) are core.
+//   Phase 2 (cluster formation): one query per core point re-discovers its
+//     neighbors (no neighbor lists stored — O(n) memory, §III-D) and merges
+//     clusters in a concurrent DisjointSet; border points are claimed
+//     atomically so each joins exactly one cluster.
+//
+// RT-DBSCAN (core/rt_dbscan.cpp) is this engine over BvhRtIndex; FDBSCAN
+// (dbscan/fdbscan.cpp) is this engine over PointBvhIndex.  Swapping the
+// index swaps the query substrate without touching the clustering logic,
+// which is what makes backend comparisons honest.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dbscan/core.hpp"
+#include "dsu/atomic_disjoint_set.hpp"
+#include "index/neighbor_index.hpp"
+
+namespace rtd::dbscan {
+
+/// Engine knobs shared by every backend.
+struct IndexEngineOptions {
+  /// Stop phase-1 counting at minPts (FDBSCAN §VI-B).  Honored by backends
+  /// whose traversal can terminate; the RT backend ignores it (OptiX).
+  bool early_exit = false;
+  /// Launch queries in Morton (Z-curve) order of the points instead of
+  /// input order (the RTNN ray-coherence optimization).  Results are
+  /// unaffected; only scheduling changes.
+  bool reorder_queries = false;
+  /// Thread count; 0 = all hardware threads.
+  int threads = 0;
+};
+
+/// Result of one engine run over an index.
+struct IndexEngineResult {
+  Clustering clustering;
+  rt::LaunchStats phase1;  ///< core-identification launch
+  rt::LaunchStats phase2;  ///< cluster-formation launch
+  /// Neighbor counts per point, excluding self.  Exact without early_exit;
+  /// capped at minPts-1 with it.
+  std::vector<std::uint32_t> neighbor_counts;
+};
+
+/// Query launch order: identity, or Morton order of the points.
+[[nodiscard]] std::vector<std::uint32_t> query_launch_order(
+    std::span<const geom::Vec3> points, bool morton);
+
+/// Phase 1 over any index: per-point ε-neighbor counts (excluding self)
+/// into `counts`, queried in `order`.
+rt::LaunchStats index_phase1(const index::NeighborIndex& index,
+                             const Params& params,
+                             std::span<const std::uint32_t> order,
+                             bool early_exit, int threads,
+                             std::vector<std::uint32_t>& counts);
+
+/// Phase 2 over any index: concurrent union-find merges initiated by core
+/// points (Alg. 3 lines 7-18); border points claimed atomically through
+/// `claimed`.
+rt::LaunchStats index_phase2(const index::NeighborIndex& index, float eps,
+                             std::span<const std::uint32_t> order,
+                             std::span<const std::uint8_t> is_core,
+                             dsu::AtomicDisjointSet& dsu,
+                             std::span<std::atomic<std::uint8_t>> claimed,
+                             int threads);
+
+/// Full run: phase 1, core flags, phase 2, label finalization.  Sets the
+/// core/cluster phase timings and a total covering this call; the caller
+/// owns index-build timing (it built the index) and overwrites the total
+/// with a build-inclusive one where it reports timings.
+IndexEngineResult cluster_with_index(const index::NeighborIndex& index,
+                                     const Params& params,
+                                     const IndexEngineOptions& options = {});
+
+}  // namespace rtd::dbscan

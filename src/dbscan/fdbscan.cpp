@@ -1,25 +1,12 @@
 #include "dbscan/fdbscan.hpp"
 
-#include <atomic>
 #include <stdexcept>
-#include <vector>
 
-#include "common/parallel.hpp"
 #include "common/timer.hpp"
-#include "dsu/atomic_disjoint_set.hpp"
-#include "geom/aabb.hpp"
+#include "dbscan/engine.hpp"
+#include "index/neighbor_index.hpp"
 
 namespace rtd::dbscan {
-
-namespace {
-
-rt::TraversalStats reduce(const std::vector<rt::TraversalStats>& per_thread) {
-  rt::TraversalStats total;
-  for (const auto& s : per_thread) total += s;
-  return total;
-}
-
-}  // namespace
 
 FdbscanResult fdbscan(std::span<const geom::Vec3> points,
                       const Params& params, const FdbscanOptions& options) {
@@ -31,108 +18,34 @@ FdbscanResult fdbscan(std::span<const geom::Vec3> points,
   }
   require_finite(points);
 
-  const std::size_t n = points.size();
   FdbscanResult result;
-  Clustering& out = result.clustering;
-  out.labels.assign(n, kNoiseLabel);
-  out.is_core.assign(n, 0);
-  if (n == 0) return result;
-
-  const int threads =
-      options.threads > 0 ? options.threads : hardware_threads();
-  ThreadCountGuard guard(threads);
-  const float eps2 = params.eps_squared();
+  if (points.empty()) {
+    return result;
+  }
 
   Timer total;
   Timer phase;
 
-  // Index build: BVH over the bare data points (no ε inflation — the query
-  // volume carries the radius, which is what lets FDBSCAN re-use one tree
-  // for any ε).
-  std::vector<geom::Aabb> bounds(n);
-  parallel_for(n, [&](std::size_t i) {
-    bounds[i] = geom::Aabb::of_point(points[i]);
-  });
-  const rt::Bvh bvh = rt::build_bvh(bounds, options.build);
-  out.timings.index_build_seconds = phase.seconds();
+  // Index build behind the NeighborIndex contract.  FDBSCAN's traditional
+  // substrate is the point BVH (no ε inflation — the query volume carries
+  // the radius, which is what lets it re-use one tree for any ε); kAuto
+  // keeps that, an explicit Params::index swaps it.
+  const index::IndexKind kind =
+      index::resolve_auto(params.index, index::IndexKind::kPointBvh);
+  const auto idx = index::make_index(
+      points, params.eps, kind, {options.build, options.threads});
+  const double build_seconds = phase.seconds();
 
-  // Phase 1: core identification.  Neighbor counts include the point itself
-  // (Ester et al. convention; see dbscan/core.hpp).
-  phase.restart();
-  std::vector<rt::TraversalStats> stats1(static_cast<std::size_t>(threads));
-  parallel_for_ctx(
-      n,
-      [&](std::size_t tid) { return &stats1[tid]; },
-      [&](rt::TraversalStats* st, std::size_t i) {
-        const geom::Vec3 q = points[i];
-        const geom::Aabb query = geom::Aabb::of_sphere(q, params.eps);
-        std::uint32_t count = 0;
-        rt::traverse_overlap(
-            bvh, query,
-            [&](std::uint32_t j) {
-              ++st->isect_calls;
-              if (geom::distance_squared(q, points[j]) <= eps2) {
-                ++count;
-                if (options.early_exit && count >= params.min_pts) {
-                  return rt::TraversalControl::kTerminate;
-                }
-              }
-              return rt::TraversalControl::kContinue;
-            },
-            *st);
-        out.is_core[i] = count >= params.min_pts ? 1 : 0;
-      });
-  result.phase1_work = reduce(stats1);
-  out.timings.core_phase_seconds = phase.seconds();
+  IndexEngineOptions engine_options;
+  engine_options.early_exit = options.early_exit;
+  engine_options.threads = options.threads;
+  IndexEngineResult run = cluster_with_index(*idx, params, engine_options);
 
-  // Phase 2: cluster formation via concurrent union-find.  FDBSCAN, like
-  // RT-DBSCAN, re-traverses instead of storing neighbor lists (O(n) memory).
-  phase.restart();
-  dsu::AtomicDisjointSet dsu(n);
-  std::vector<std::atomic<std::uint8_t>> border_claimed(n);
-  parallel_for(n, [&](std::size_t i) {
-    border_claimed[i].store(0, std::memory_order_relaxed);
-  });
-
-  std::vector<rt::TraversalStats> stats2(static_cast<std::size_t>(threads));
-  parallel_for_ctx(
-      n,
-      [&](std::size_t tid) { return &stats2[tid]; },
-      [&](rt::TraversalStats* st, std::size_t i) {
-        if (!out.is_core[i]) return;  // only core points initiate merges
-        const geom::Vec3 q = points[i];
-        const geom::Aabb query = geom::Aabb::of_sphere(q, params.eps);
-        rt::traverse_overlap(
-            bvh, query,
-            [&](std::uint32_t j) {
-              ++st->isect_calls;
-              if (j == i ||
-                  geom::distance_squared(q, points[j]) > eps2) {
-                return rt::TraversalControl::kContinue;
-              }
-              if (out.is_core[j]) {
-                // Core-core merges are symmetric; do each pair once.
-                if (j > i) dsu.unite(static_cast<std::uint32_t>(i), j);
-              } else {
-                // Border point: the paper's critical section (Alg. 3 line
-                // 13).  First core to claim it wins; a border point joins
-                // exactly one cluster.
-                std::uint8_t expected = 0;
-                if (border_claimed[j].compare_exchange_strong(
-                        expected, 1, std::memory_order_acq_rel)) {
-                  dsu.unite(static_cast<std::uint32_t>(i), j);
-                }
-              }
-              return rt::TraversalControl::kContinue;
-            },
-            *st);
-      });
-  result.phase2_work = reduce(stats2);
-  out.timings.cluster_phase_seconds = phase.seconds();
-
-  finalize_labels(
-      n, [&](std::uint32_t x) { return dsu.find(x); }, out.is_core, out);
-  out.timings.total_seconds = total.seconds();
+  result.clustering = std::move(run.clustering);
+  result.phase1_work = run.phase1.work;
+  result.phase2_work = run.phase2.work;
+  result.clustering.timings.index_build_seconds = build_seconds;
+  result.clustering.timings.total_seconds = total.seconds();
   return result;
 }
 

@@ -7,6 +7,10 @@
 // RT-DBSCAN, it never stores neighbor lists and instead re-traverses in the
 // cluster-formation phase.
 //
+// Since the NeighborIndex refactor this is the unified two-phase engine
+// (dbscan/engine.hpp) over index::PointBvhIndex; set Params::index to swap
+// the query backend (grid, dense-box, brute force, or the RT scene itself).
+//
 // The `early_exit` option reproduces the FDBSCAN optimization §VI-B
 // discusses: core-identification traversal stops as soon as minPts neighbors
 // have been found.  OptiX cannot express this (Intersection programs cannot

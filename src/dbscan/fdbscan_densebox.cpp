@@ -1,17 +1,15 @@
 #include "dbscan/fdbscan_densebox.hpp"
 
 #include <atomic>
-#include <cmath>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "dsu/atomic_disjoint_set.hpp"
 #include "geom/aabb.hpp"
-#include "rt/bvh.hpp"
-#include "rt/traversal.hpp"
+#include "index/densebox_index.hpp"
+#include "index/neighbor_index.hpp"
 
 namespace rtd::dbscan {
 
@@ -20,42 +18,14 @@ namespace {
 using geom::Aabb;
 using geom::Vec3;
 
-/// Dense-box grid: cell edge = eps / sqrt(dims) so the cell diagonal is
-/// exactly eps — the certificate that any two cell-mates are ε-neighbors.
-struct DenseGrid {
-  float cell = 0.0f;
-  Vec3 origin;
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells;
+constexpr std::uint32_t kNoDenseCell = 0xffffffffu;
 
-  DenseGrid(std::span<const Vec3> points, float eps) {
-    Aabb bounds;
-    for (const auto& p : points) bounds.grow(p);
-    origin = bounds.lo;
-    const bool flat = bounds.extent().z <= 0.0f;
-    cell = eps / std::sqrt(flat ? 2.0f : 3.0f);
-    cells.reserve(points.size() / 4);
-    for (std::uint32_t i = 0; i < points.size(); ++i) {
-      cells[key_of(points[i])].push_back(i);
-    }
-  }
-
-  [[nodiscard]] std::uint64_t key_of(const Vec3& p) const {
-    const auto c = [&](float v, float lo) {
-      return static_cast<std::uint64_t>(
-          static_cast<std::int64_t>((v - lo) / cell) + (1 << 20));
-    };
-    return (c(p.x, origin.x) << 42) | (c(p.y, origin.y) << 21) |
-           c(p.z, origin.z);
-  }
-
-  [[nodiscard]] Aabb bounds_of_members(
-      std::span<const Vec3> points,
-      const std::vector<std::uint32_t>& members) const {
-    Aabb box;
-    for (const auto m : members) box.grow(points[m]);
-    return box;
-  }
-};
+Aabb bounds_of_members(std::span<const Vec3> points,
+                       std::span<const std::uint32_t> members) {
+  Aabb box;
+  for (const auto m : members) box.grow(points[m]);
+  return box;
+}
 
 }  // namespace
 
@@ -85,55 +55,50 @@ DenseboxResult fdbscan_densebox(std::span<const Vec3> points,
   Timer total;
   Timer phase;
 
-  // Index build: dense-box grid + the usual point BVH.
-  DenseGrid grid(points, params.eps);
-  std::vector<const std::vector<std::uint32_t>*> dense_cells;
-  std::vector<std::uint32_t> dense_cell_of(n, 0xffffffffu);
-  for (const auto& [key, members] : grid.cells) {
-    if (members.size() >= params.min_pts) {
-      const auto cell_idx = static_cast<std::uint32_t>(dense_cells.size());
-      dense_cells.push_back(&members);
-      for (const auto m : members) {
-        out.is_core[m] = 1;  // diagonal <= eps: every cell-mate is a neighbor
-        dense_cell_of[m] = cell_idx;
-      }
-      result.dense_points += members.size();
+  // Index build: the dense-box grid (cell diagonal <= ε, the certificate
+  // that any two cell-mates are ε-neighbors) plus the per-point query
+  // backend — traditionally the point BVH, swappable via Params::index.
+  const index::DenseBoxIndex grid(points, params.eps);
+  // Spans into the grid's member storage — `grid` outlives every use.
+  std::vector<std::span<const std::uint32_t>> dense_cells;
+  std::vector<std::uint32_t> dense_cell_of(n, kNoDenseCell);
+  grid.for_each_cell([&](std::span<const std::uint32_t> members) {
+    if (members.size() < params.min_pts) return;
+    const auto cell_idx = static_cast<std::uint32_t>(dense_cells.size());
+    dense_cells.push_back(members);
+    for (const auto m : members) {
+      out.is_core[m] = 1;  // diagonal <= eps: every cell-mate is a neighbor
+      dense_cell_of[m] = cell_idx;
     }
-  }
+    result.dense_points += members.size();
+  });
   result.dense_cells = dense_cells.size();
 
-  std::vector<Aabb> bounds(n);
-  parallel_for(n, [&](std::size_t i) {
-    bounds[i] = Aabb::of_point(points[i]);
-  });
-  const rt::Bvh bvh = rt::build_bvh(bounds, options.build);
+  const index::IndexKind kind =
+      index::resolve_auto(params.index, index::IndexKind::kPointBvh);
+  // kDenseBox reuses the cell grid built above instead of a second copy.
+  std::unique_ptr<index::NeighborIndex> owned;
+  const index::NeighborIndex* index = &grid;
+  if (kind != index::IndexKind::kDenseBox) {
+    owned = index::make_index(points, params.eps, kind,
+                              {options.build, options.threads});
+    index = owned.get();
+  }
   out.timings.index_build_seconds = phase.seconds();
 
   // Phase 1: core identification only for points outside dense boxes.
   phase.restart();
+  const std::uint32_t cap =
+      options.early_exit ? params.min_pts - 1 : index::kNoCap;
   std::vector<rt::TraversalStats> stats1(static_cast<std::size_t>(threads));
   parallel_for_ctx(
       n,
       [&](std::size_t tid) { return &stats1[tid]; },
       [&](rt::TraversalStats* st, std::size_t i) {
-        if (dense_cell_of[i] != 0xffffffffu) return;  // proven core for free
-        const Vec3 q = points[i];
-        const Aabb query = Aabb::of_sphere(q, params.eps);
-        std::uint32_t count = 0;
-        rt::traverse_overlap(
-            bvh, query,
-            [&](std::uint32_t j) {
-              ++st->isect_calls;
-              if (geom::distance_squared(q, points[j]) <= eps2) {
-                ++count;
-                if (options.early_exit && count >= params.min_pts) {
-                  return rt::TraversalControl::kTerminate;
-                }
-              }
-              return rt::TraversalControl::kContinue;
-            },
-            *st);
-        out.is_core[i] = count >= params.min_pts ? 1 : 0;
+        if (dense_cell_of[i] != kNoDenseCell) return;  // proven core for free
+        const std::uint32_t count = index->query_count(
+            points[i], params.eps, static_cast<std::uint32_t>(i), *st, cap);
+        out.is_core[i] = count + 1 >= params.min_pts ? 1 : 0;
       });
   for (auto& s : stats1) result.phase1_work += s;
   out.timings.core_phase_seconds = phase.seconds();
@@ -147,33 +112,28 @@ DenseboxResult fdbscan_densebox(std::span<const Vec3> points,
   });
 
   // 2a. Pre-union every dense cell (free: the cell is one component).
-  for (const auto* members : dense_cells) {
-    for (std::size_t m = 1; m < members->size(); ++m) {
-      dsu.unite((*members)[0], (*members)[m]);
+  for (const auto& members : dense_cells) {
+    for (std::size_t m = 1; m < members.size(); ++m) {
+      dsu.unite(members[0], members[m]);
     }
   }
 
-  // 2b. Per-point traversals for cores OUTSIDE dense boxes (as in FDBSCAN).
+  // 2b. Per-point queries for cores OUTSIDE dense boxes (as in FDBSCAN).
   std::vector<rt::TraversalStats> stats2(static_cast<std::size_t>(threads));
   parallel_for_ctx(
       n,
       [&](std::size_t tid) { return &stats2[tid]; },
       [&](rt::TraversalStats* st, std::size_t i) {
-        if (!out.is_core[i] || dense_cell_of[i] != 0xffffffffu) return;
-        const Vec3 q = points[i];
-        const Aabb query = Aabb::of_sphere(q, params.eps);
-        rt::traverse_overlap(
-            bvh, query,
+        if (!out.is_core[i] || dense_cell_of[i] != kNoDenseCell) return;
+        index->query_sphere(
+            points[i], params.eps, static_cast<std::uint32_t>(i),
             [&](std::uint32_t j) {
-              ++st->isect_calls;
-              if (j == i || geom::distance_squared(q, points[j]) > eps2) {
-                return rt::TraversalControl::kContinue;
-              }
               if (out.is_core[j]) {
                 // Avoid double work only among per-point queries; dense
                 // members never initiate per-point queries, so always unite
                 // with them.
-                if (dense_cell_of[j] != 0xffffffffu || j > i) {
+                if (dense_cell_of[j] != kNoDenseCell ||
+                    j > static_cast<std::uint32_t>(i)) {
                   dsu.unite(static_cast<std::uint32_t>(i), j);
                 }
               } else {
@@ -183,29 +143,30 @@ DenseboxResult fdbscan_densebox(std::span<const Vec3> points,
                   dsu.unite(static_cast<std::uint32_t>(i), j);
                 }
               }
-              return rt::TraversalControl::kContinue;
             },
             *st);
       });
 
-  // 2c. One inflated-box traversal per dense cell: connects the cell to
+  // 2c. One inflated-box query per dense cell: connects the cell to
   // everything within eps of ANY member (first-member-in-range early break),
-  // replacing |cell| per-point traversals.
+  // replacing |cell| per-point queries.  The box is padded a hair beyond ε
+  // so float rounding at the boundary can never exclude a true neighbor;
+  // the exact member-distance test below is authoritative.
   parallel_for_ctx(
       dense_cells.size(),
       [&](std::size_t tid) { return &stats2[tid]; },
       [&](rt::TraversalStats* st, std::size_t c) {
-        const auto& members = *dense_cells[c];
+        const auto& members = dense_cells[c];
         const std::uint32_t rep = members[0];
-        Aabb query = grid.bounds_of_members(points, members);
-        query.lo -= Vec3{params.eps, params.eps, params.eps};
-        query.hi += Vec3{params.eps, params.eps, params.eps};
-        rt::traverse_overlap(
-            bvh, query,
+        const float pad = 1.0001f * params.eps;
+        Aabb query = bounds_of_members(points, members);
+        query.lo -= Vec3{pad, pad, pad};
+        query.hi += Vec3{pad, pad, pad};
+        index->query_box(
+            query,
             [&](std::uint32_t j) {
-              ++st->isect_calls;
               if (dense_cell_of[j] == static_cast<std::uint32_t>(c)) {
-                return rt::TraversalControl::kContinue;  // own member
+                return;  // own member
               }
               // j is connected to the cell iff some member is within eps.
               bool in_range = false;
@@ -215,7 +176,7 @@ DenseboxResult fdbscan_densebox(std::span<const Vec3> points,
                   break;
                 }
               }
-              if (!in_range) return rt::TraversalControl::kContinue;
+              if (!in_range) return;
               if (out.is_core[j]) {
                 dsu.unite(rep, j);
               } else {
@@ -225,7 +186,6 @@ DenseboxResult fdbscan_densebox(std::span<const Vec3> points,
                   dsu.unite(rep, j);
                 }
               }
-              return rt::TraversalControl::kContinue;
             },
             *st);
       });

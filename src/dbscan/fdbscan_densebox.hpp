@@ -12,10 +12,12 @@
 // skips all dense-box members; phase 2 replaces their per-point traversals
 // with one inflated-box traversal per dense cell.
 //
-// Port notes (see DESIGN.md): the original merges dense boxes into the BVH
-// itself; we keep the point BVH and issue one volume query per dense cell,
-// which preserves the asymptotic savings (queries ~ #cells instead of
-// #points in dense regions) with a simpler structure.
+// Port notes: the original merges dense boxes into the BVH itself; we keep
+// the cell structure in index::DenseBoxIndex and issue one volume query per
+// dense cell against the per-point backend (point BVH by default,
+// swappable via Params::index), which preserves the asymptotic savings
+// (queries ~ #cells instead of #points in dense regions) with a simpler
+// structure.
 #pragma once
 
 #include <span>

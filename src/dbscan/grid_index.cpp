@@ -13,9 +13,15 @@ GridIndex::GridIndex(std::span<const geom::Vec3> points, float cell_size)
   }
   if (points.empty()) return;
 
-  geom::Aabb bounds;
-  for (const auto& p : points) bounds.grow(p);
-  origin_ = bounds.lo;
+  for (const auto& p : points) bounds_.grow(p);
+  origin_ = bounds_.lo;
+
+  // Note on the 21-bit cell key: axes spanning more than 2^21 cells alias
+  // distinct cells onto one key.  That is BENIGN here — aliasing only adds
+  // unrelated candidates, which the exact distance filter rejects; no point
+  // is ever lost (the key is deterministic in the cell coordinates).  Only
+  // structures that trust whole cells (index::DenseBoxIndex certificates)
+  // must reject such ranges.
 
   // Two-pass CSR build: count per cell, then fill.
   std::vector<std::uint64_t> keys(points.size());

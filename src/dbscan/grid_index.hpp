@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "geom/aabb.hpp"
 #include "geom/vec3.hpp"
 
 namespace rtd::dbscan {
@@ -24,6 +25,8 @@ class GridIndex {
   [[nodiscard]] std::size_t size() const { return points_.size(); }
   [[nodiscard]] float cell_size() const { return cell_; }
   [[nodiscard]] std::size_t cell_count() const { return cell_of_.size(); }
+  /// Bounds of the indexed points (empty Aabb for an empty dataset).
+  [[nodiscard]] const geom::Aabb& bounds() const { return bounds_; }
 
   /// Invoke f(point_id) for every point in the one-ring (3^3) cells around
   /// q, WITHOUT the exact distance filter — the raw candidate set a grid
@@ -31,11 +34,46 @@ class GridIndex {
   /// count the distance tests a device would execute.
   template <typename F>
   void for_candidates(const geom::Vec3& q, F&& f) const {
+    for_candidates_until(q, [&](std::uint32_t id) {
+      f(id);
+      return true;
+    });
+  }
+
+  /// Control-returning variant of for_candidates(): `f(point_id)` returns
+  /// false to stop the walk (early-exit neighbor counting, §VI-B).  Returns
+  /// false iff the walk was stopped.
+  template <typename F>
+  bool for_candidates_until(const geom::Vec3& q, F&& f) const {
     const auto [cx, cy, cz] = cell_coords(q);
     for (int dz = -1; dz <= 1; ++dz) {
       for (int dy = -1; dy <= 1; ++dy) {
         for (int dx = -1; dx <= 1; ++dx) {
           const auto it = cell_of_.find(key(cx + dx, cy + dy, cz + dz));
+          if (it == cell_of_.end()) continue;
+          const auto [first, count] = it->second;
+          for (std::uint32_t k = first; k < first + count; ++k) {
+            if (!f(cell_points_[k])) return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Invoke f(point_id) for every point in the cells overlapping the box
+  /// [lo, hi] — raw candidates, WITHOUT the exact point-in-box filter.
+  /// Callers clamp the box to the data bounds first (the walk covers the
+  /// full coordinate range it is given).
+  template <typename F>
+  void for_candidates_in_box(const geom::Vec3& lo, const geom::Vec3& hi,
+                             F&& f) const {
+    const auto [x0, y0, z0] = cell_coords(lo);
+    const auto [x1, y1, z1] = cell_coords(hi);
+    for (std::int64_t cz = z0; cz <= z1; ++cz) {
+      for (std::int64_t cy = y0; cy <= y1; ++cy) {
+        for (std::int64_t cx = x0; cx <= x1; ++cx) {
+          const auto it = cell_of_.find(key(cx, cy, cz));
           if (it == cell_of_.end()) continue;
           const auto [first, count] = it->second;
           for (std::uint32_t k = first; k < first + count; ++k) {
@@ -90,6 +128,7 @@ class GridIndex {
 
   std::span<const geom::Vec3> points_;
   float cell_;
+  geom::Aabb bounds_;
   geom::Vec3 origin_;
   std::unordered_map<std::uint64_t, CellRange> cell_of_;
   std::vector<std::uint32_t> cell_points_;  ///< CSR payload

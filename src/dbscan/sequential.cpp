@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "common/timer.hpp"
-#include "dbscan/grid_index.hpp"
+#include "index/neighbor_index.hpp"
 
 namespace rtd::dbscan {
 
@@ -27,8 +27,23 @@ Clustering sequential_dbscan(std::span<const geom::Vec3> points,
 
   Timer total;
   Timer phase;
-  GridIndex index(points, params.eps);
+  // The reference traditionally runs on the uniform grid (kAuto keeps
+  // that); any NeighborIndex backend can be substituted via Params::index.
+  const index::IndexKind kind =
+      index::resolve_auto(params.index, index::IndexKind::kGrid);
+  const auto index = index::make_index(points, params.eps, kind);
   out.timings.index_build_seconds = phase.seconds();
+
+  // Materialized neighbor lists, as Algorithm 1's explicit NeighborSet.
+  // The index contract excludes the query point itself; Algorithm 1's
+  // |N_eps(p)| includes it, hence the +1 in the core tests below.
+  rt::TraversalStats stats;  // sequential: one accumulator is enough
+  const auto neighbors_of = [&](std::uint32_t p) {
+    std::vector<std::uint32_t> ids;
+    index->query_sphere(points[p], params.eps, p,
+                        [&](std::uint32_t j) { ids.push_back(j); }, stats);
+    return ids;
+  };
 
   // Algorithm 1 interleaves core detection with expansion; we track the
   // "assigned" state via labels (kNoiseLabel doubles as UNASSIGNED until a
@@ -42,10 +57,9 @@ Clustering sequential_dbscan(std::span<const geom::Vec3> points,
     if (visited[p]) continue;
     visited[p] = true;
 
-    // Line 2: Neighbors <- FindNeighbors(p).  Includes p itself.
-    std::vector<std::uint32_t> neighbors =
-        index.neighbors(points[p], params.eps);
-    if (neighbors.size() < params.min_pts) {
+    // Line 2: Neighbors <- FindNeighbors(p), excluding p itself.
+    std::vector<std::uint32_t> neighbors = neighbors_of(p);
+    if (neighbors.size() + 1 < params.min_pts) {
       continue;  // Lines 3-4: p <- NOISE (labels already kNoiseLabel)
     }
 
@@ -59,7 +73,6 @@ Clustering sequential_dbscan(std::span<const geom::Vec3> points,
     while (!work.empty()) {
       const std::uint32_t q = work.front();
       work.pop_front();
-      if (q == p) continue;
 
       // Line 9-11: unassigned or noise neighbors join the cluster.
       if (out.labels[q] == kUnassigned) {
@@ -69,9 +82,8 @@ Clustering sequential_dbscan(std::span<const geom::Vec3> points,
       visited[q] = true;
 
       // Lines 11-14: expand through q if q is itself a core point.
-      std::vector<std::uint32_t> q_neighbors =
-          index.neighbors(points[q], params.eps);
-      if (q_neighbors.size() >= params.min_pts) {
+      std::vector<std::uint32_t> q_neighbors = neighbors_of(q);
+      if (q_neighbors.size() + 1 >= params.min_pts) {
         out.is_core[q] = 1;
         out.labels[q] = cluster;  // core points always belong to the cluster
         work.insert(work.end(), q_neighbors.begin(), q_neighbors.end());

@@ -1,0 +1,39 @@
+#include "index/brute_force_index.hpp"
+
+namespace rtd::index {
+
+BruteForceIndex::BruteForceIndex(std::span<const geom::Vec3> points,
+                                 float eps)
+    : points_(points), eps_(eps) {}
+
+void BruteForceIndex::query_sphere(const geom::Vec3& center, float eps,
+                                   std::uint32_t self, NeighborVisitor visit,
+                                   rt::TraversalStats& stats) const {
+  ++stats.rays;
+  const float eps2 = eps * eps;
+  for (std::uint32_t j = 0; j < points_.size(); ++j) {
+    ++stats.isect_calls;
+    if (j != self && geom::distance_squared(center, points_[j]) <= eps2) {
+      visit(j);
+    }
+  }
+}
+
+std::uint32_t BruteForceIndex::query_count(const geom::Vec3& center,
+                                           float eps, std::uint32_t self,
+                                           rt::TraversalStats& stats,
+                                           std::uint32_t stop_at) const {
+  ++stats.rays;
+  if (stop_at == 0) return 0;
+  const float eps2 = eps * eps;
+  std::uint32_t count = 0;
+  for (std::uint32_t j = 0; j < points_.size(); ++j) {
+    ++stats.isect_calls;
+    if (j != self && geom::distance_squared(center, points_[j]) <= eps2) {
+      if (++count >= stop_at) return count;
+    }
+  }
+  return count;
+}
+
+}  // namespace rtd::index

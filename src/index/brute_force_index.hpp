@@ -1,0 +1,46 @@
+// BruteForceIndex — the O(n)-per-query reference backend.
+//
+// No build step, no auxiliary structure: every query scans all points.  This
+// is both the correctness oracle the parity tests compare every other
+// backend against, and the fastest choice for tiny datasets where any index
+// build costs more than it saves (the kAuto cutoff in choose_index_kind).
+// It is also what G-DBSCAN's original GPU kernels do, which is why that
+// algorithm defaults to this backend.
+#pragma once
+
+#include <span>
+
+#include "index/neighbor_index.hpp"
+
+namespace rtd::index {
+
+/// Linear-scan neighbor index.  Every candidate examined counts one
+/// Intersection-program call in the query stats, so its work counters are
+/// directly comparable with the tree backends'.
+class BruteForceIndex final : public NeighborIndex {
+ public:
+  /// "Build": records the span; O(1).
+  BruteForceIndex(std::span<const geom::Vec3> points, float eps);
+
+  [[nodiscard]] IndexKind kind() const override {
+    return IndexKind::kBruteForce;
+  }
+  [[nodiscard]] std::span<const geom::Vec3> points() const override {
+    return points_;
+  }
+  [[nodiscard]] float build_eps() const override { return eps_; }
+
+  void query_sphere(const geom::Vec3& center, float eps, std::uint32_t self,
+                    NeighborVisitor visit,
+                    rt::TraversalStats& stats) const override;
+
+  [[nodiscard]] std::uint32_t query_count(
+      const geom::Vec3& center, float eps, std::uint32_t self,
+      rt::TraversalStats& stats, std::uint32_t stop_at) const override;
+
+ private:
+  std::span<const geom::Vec3> points_;
+  float eps_;
+};
+
+}  // namespace rtd::index

@@ -1,0 +1,73 @@
+#include "index/bvh_rt_index.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "geom/ray.hpp"
+
+namespace rtd::index {
+
+BvhRtIndex::BvhRtIndex(std::span<const geom::Vec3> points, float eps,
+                       const rt::Context::Options& options)
+    : ctx_(options),
+      accel_(ctx_.build_spheres(
+          std::vector<geom::Vec3>(points.begin(), points.end()), eps)) {}
+
+void BvhRtIndex::require_radius(float eps) const {
+  if (eps != accel_.radius()) {
+    throw std::invalid_argument(
+        "BvhRtIndex: query eps " + std::to_string(eps) +
+        " differs from the scene radius " + std::to_string(accel_.radius()) +
+        " (the radius is baked into the sphere geometry; use set_radius to "
+        "refit)");
+  }
+}
+
+void BvhRtIndex::query_sphere(const geom::Vec3& center, float eps,
+                              std::uint32_t self, NeighborVisitor visit,
+                              rt::TraversalStats& stats) const {
+  require_radius(eps);
+  const geom::Ray ray = geom::Ray::point_query(center);
+  accel_.trace(
+      ray,
+      [&](std::uint32_t prim) {
+        // Intersection program: exact point-in-sphere test (Alg. 2 line 6).
+        if (prim != self && accel_.origin_inside(ray, prim)) visit(prim);
+      },
+      stats);
+}
+
+std::uint32_t BvhRtIndex::query_count(const geom::Vec3& center, float eps,
+                                      std::uint32_t self,
+                                      rt::TraversalStats& stats,
+                                      std::uint32_t stop_at) const {
+  (void)stop_at;  // OptiX: traversal cannot terminate early (§VI-B)
+  require_radius(eps);
+  const geom::Ray ray = geom::Ray::point_query(center);
+  std::uint32_t count = 0;
+  accel_.trace(
+      ray,
+      [&](std::uint32_t prim) {
+        if (prim != self && accel_.origin_inside(ray, prim)) ++count;
+      },
+      stats);
+  return count;
+}
+
+void BvhRtIndex::query_box(const geom::Aabb& box, NeighborVisitor visit,
+                           rt::TraversalStats& stats) const {
+  // The sphere-scene BVH stores ε-inflated leaf boxes, so the traversal
+  // surfaces a superset; the exact point-in-box filter runs here.
+  const auto& centers = accel_.centers();
+  rt::traverse_overlap(
+      accel_.bvh(), box,
+      [&](std::uint32_t prim) {
+        ++stats.isect_calls;
+        if (box.contains(centers[prim])) visit(prim);
+        return rt::TraversalControl::kContinue;
+      },
+      stats);
+}
+
+}  // namespace rtd::index

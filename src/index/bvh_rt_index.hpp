@@ -1,0 +1,66 @@
+// BvhRtIndex — the paper's RT pipeline behind the NeighborIndex contract.
+//
+// Wraps rt::Context + rt::SphereAccel: the input transformation of §III-B
+// (one solid ε-sphere per point, hardware BVH over the sphere AABBs) with
+// queries as infinitesimally short rays whose Intersection program performs
+// the exact point-in-sphere test (Algorithm 2).  Two OptiX semantics carry
+// through the interface faithfully:
+//   * the radius is baked into the geometry, so query eps must equal the
+//     build eps (use set_radius() to REFIT for an ε sweep — 5-10x cheaper
+//     than a rebuild, §VI-B);
+//   * an Intersection program cannot terminate traversal, so query_count
+//     ignores its early-exit hint and always pays the full query (§VI-B —
+//     the trade bench_fig9_early_exit measures).
+#pragma once
+
+#include <span>
+
+#include "index/neighbor_index.hpp"
+#include "rt/context.hpp"
+
+namespace rtd::index {
+
+/// RT sphere-scene neighbor index (simulated RT-core traversal).
+class BvhRtIndex final : public NeighborIndex {
+ public:
+  /// "optixAccelBuild": copies the points into the sphere scene and builds
+  /// the hardware-style BVH.
+  BvhRtIndex(std::span<const geom::Vec3> points, float eps,
+             const rt::Context::Options& options = {});
+
+  [[nodiscard]] IndexKind kind() const override { return IndexKind::kBvhRt; }
+  [[nodiscard]] std::span<const geom::Vec3> points() const override {
+    return accel_.centers();
+  }
+  [[nodiscard]] float build_eps() const override { return accel_.radius(); }
+
+  void query_sphere(const geom::Vec3& center, float eps, std::uint32_t self,
+                    NeighborVisitor visit,
+                    rt::TraversalStats& stats) const override;
+
+  /// Full-traversal count: `stop_at` is ignored (OptiX Intersection
+  /// programs cannot stop traversal), and the exact count is returned.
+  [[nodiscard]] std::uint32_t query_count(
+      const geom::Vec3& center, float eps, std::uint32_t self,
+      rt::TraversalStats& stats, std::uint32_t stop_at) const override;
+
+  void query_box(const geom::Aabb& box, NeighborVisitor visit,
+                 rt::TraversalStats& stats) const override;
+
+  /// REFIT the sphere scene to a new radius (accel update, not rebuild);
+  /// subsequent queries must use the new eps.
+  void set_radius(float eps) { accel_.set_radius(eps); }
+
+  /// The underlying acceleration structure (build statistics, RT k-NN).
+  [[nodiscard]] const rt::SphereAccel& accel() const { return accel_; }
+  /// The RT device context the scene was built with.
+  [[nodiscard]] const rt::Context& context() const { return ctx_; }
+
+ private:
+  void require_radius(float eps) const;
+
+  rt::Context ctx_;
+  rt::SphereAccel accel_;
+};
+
+}  // namespace rtd::index

@@ -1,0 +1,96 @@
+// DenseBoxIndex — dense-box grid (Prokopenko et al.'s certificate idea) as a
+// neighbor-query backend.
+//
+// A Cartesian grid whose cell DIAGONAL is <= the build ε (edge = ε/√dims):
+// any two points sharing a cell are provably within ε of each other.  A
+// sphere query walks the cells overlapping the query ball and classifies
+// each whole cell first:
+//   * farthest corner within eps  -> accept every member, zero distance
+//     tests (the "dense box" certificate);
+//   * nearest corner beyond eps   -> reject the cell outright;
+//   * otherwise                   -> exact per-member distance tests.
+// On crowded data most members resolve through the first branch, which is
+// what the kAuto occupancy heuristic selects this backend for.  The cell
+// structure is also exposed directly (for_each_cell) because the
+// FDBSCAN-DenseBox variant turns cells with >= minPts members into free core
+// points.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "index/neighbor_index.hpp"
+
+namespace rtd::index {
+
+/// Dense-box grid neighbor index.  Whole-cell accept/reject tests count as
+/// AABB tests; only per-member exact tests count as Intersection calls.
+class DenseBoxIndex final : public NeighborIndex {
+ public:
+  /// Build the grid with cell diagonal `eps` (edge = ε/√3, or ε/√2 for flat
+  /// z = const data) over `points`.
+  DenseBoxIndex(std::span<const geom::Vec3> points, float eps);
+
+  [[nodiscard]] IndexKind kind() const override {
+    return IndexKind::kDenseBox;
+  }
+  [[nodiscard]] std::span<const geom::Vec3> points() const override {
+    return points_;
+  }
+  [[nodiscard]] float build_eps() const override { return eps_; }
+
+  void query_sphere(const geom::Vec3& center, float eps, std::uint32_t self,
+                    NeighborVisitor visit,
+                    rt::TraversalStats& stats) const override;
+
+  [[nodiscard]] std::uint32_t query_count(
+      const geom::Vec3& center, float eps, std::uint32_t self,
+      rt::TraversalStats& stats, std::uint32_t stop_at) const override;
+
+  void query_box(const geom::Aabb& box, NeighborVisitor visit,
+                 rt::TraversalStats& stats) const override;
+
+  /// Cell edge length (ε/√dims).
+  [[nodiscard]] float cell_edge() const { return cell_; }
+
+  /// Number of non-empty cells.
+  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+
+  /// Enumerate every non-empty cell's member ids (dataset indices).  Cell
+  /// order is unspecified but stable for a given build.
+  void for_each_cell(
+      FunctionRef<void(std::span<const std::uint32_t>)> f) const;
+
+ private:
+  struct Cell {
+    /// TIGHT bounds of the members (not the nominal cell box): exact for
+    /// both certificates — min-distance beyond ε to this box proves no
+    /// member is a neighbor, farthest corner within ε proves all are —
+    /// immune to the ulp-level misplacement of a member relative to its
+    /// nominal cell box, and collapses to zero z-extent on flat data.
+    geom::Aabb bounds;
+    std::vector<std::uint32_t> members;
+  };
+
+  [[nodiscard]] std::int64_t coord(float v, float lo) const;
+  [[nodiscard]] static std::uint64_t key(std::int64_t x, std::int64_t y,
+                                         std::int64_t z);
+
+  /// Walk the non-empty cells overlapping `box`.  Returns false WITHOUT
+  /// visiting anything when the walk would cover more cells than there are
+  /// points (e.g. a query radius far above the build ε) — callers then
+  /// degrade to a linear scan, which is cheaper by construction.
+  template <typename CellFn>
+  bool for_cells_overlapping(const geom::Aabb& box, CellFn&& f) const;
+
+  std::span<const geom::Vec3> points_;
+  float eps_;
+  float cell_ = 0.0f;
+  geom::Vec3 origin_;
+  std::int64_t cmax_[3] = {0, 0, 0};  ///< max occupied cell coord per axis
+  std::unordered_map<std::uint64_t, Cell> cells_;
+};
+
+}  // namespace rtd::index

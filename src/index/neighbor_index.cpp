@@ -1,0 +1,105 @@
+#include "index/neighbor_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "index/brute_force_index.hpp"
+#include "index/bvh_rt_index.hpp"
+#include "index/densebox_index.hpp"
+#include "index/grid_index.hpp"
+#include "index/point_bvh_index.hpp"
+
+namespace rtd::index {
+
+std::uint32_t NeighborIndex::query_count(const geom::Vec3& center, float eps,
+                                         std::uint32_t self,
+                                         rt::TraversalStats& stats,
+                                         std::uint32_t stop_at) const {
+  // Default: a full enumeration (no early exit).  Backends whose traversal
+  // can terminate override this to honor `stop_at`.
+  (void)stop_at;
+  std::uint32_t count = 0;
+  query_sphere(center, eps, self, [&](std::uint32_t) { ++count; }, stats);
+  return count;
+}
+
+void NeighborIndex::query_box(const geom::Aabb& box, NeighborVisitor visit,
+                              rt::TraversalStats& stats) const {
+  // Default: counted linear scan.  Grid/tree backends override.
+  ++stats.rays;
+  const std::span<const geom::Vec3> pts = points();
+  for (std::uint32_t j = 0; j < pts.size(); ++j) {
+    ++stats.isect_calls;
+    if (box.contains(pts[j])) visit(j);
+  }
+}
+
+rt::LaunchStats NeighborIndex::query_all(float eps, PairVisitor visit,
+                                         int threads) const {
+  const std::span<const geom::Vec3> pts = points();
+  return rt::parallel_launch(
+      pts.size(), threads, [&](rt::TraversalStats& stats, std::size_t i) {
+        const auto self = static_cast<std::uint32_t>(i);
+        query_sphere(pts[i], eps, self,
+                     [&](std::uint32_t j) { visit(self, j); }, stats);
+      });
+}
+
+IndexKind choose_index_kind(std::span<const geom::Vec3> points, float eps) {
+  const std::size_t n = points.size();
+  // Tiny datasets: any build costs more than it saves.
+  if (n <= 2048) return IndexKind::kBruteForce;
+
+  geom::Aabb bounds;
+  for (const auto& p : points) bounds.grow(p);
+  const geom::Vec3 ext = bounds.extent();
+  // Expected occupancy of an ε-edged cell: how crowded neighborhoods are.
+  double cells = 1.0;
+  for (const float e : {ext.x, ext.y, ext.z}) {
+    cells *= std::max(1.0, static_cast<double>(e) /
+                               static_cast<double>(eps));
+  }
+  const double occupancy = static_cast<double>(n) / cells;
+  // Very dense: whole-cell certificates resolve most members for free.
+  if (occupancy >= 64.0) return IndexKind::kDenseBox;
+  // Mid-size: the grid's O(n) counting-sort build wins on build cost.
+  if (n <= 65536) return IndexKind::kGrid;
+  // Large: the paper's regime — hardware-style BVH over ε-spheres.
+  return IndexKind::kBvhRt;
+}
+
+std::unique_ptr<NeighborIndex> make_index(std::span<const geom::Vec3> points,
+                                          float eps, IndexKind kind,
+                                          const IndexBuildOptions& options) {
+  if (eps <= 0.0f) {
+    throw std::invalid_argument("make_index: eps must be positive");
+  }
+  if (kind == IndexKind::kAuto) kind = choose_index_kind(points, eps);
+  // Honor the requested build parallelism (the tree backends build with
+  // parallel_for / parallel builders).
+  const ThreadCountGuard guard(
+      options.threads > 0 ? options.threads : hardware_threads());
+  switch (kind) {
+    case IndexKind::kBruteForce:
+      return std::make_unique<BruteForceIndex>(points, eps);
+    case IndexKind::kGrid:
+      return std::make_unique<GridIndex>(points, eps);
+    case IndexKind::kDenseBox:
+      return std::make_unique<DenseBoxIndex>(points, eps);
+    case IndexKind::kPointBvh:
+      return std::make_unique<PointBvhIndex>(points, eps, options.build);
+    case IndexKind::kBvhRt: {
+      rt::Context::Options device;
+      device.build = options.build;
+      device.threads = options.threads;
+      return std::make_unique<BvhRtIndex>(points, eps, device);
+    }
+    case IndexKind::kAuto: break;  // resolved above
+  }
+  throw std::invalid_argument("make_index: unknown IndexKind");
+}
+
+}  // namespace rtd::index

@@ -1,0 +1,141 @@
+// NeighborIndex — the pluggable fixed-radius neighbor-query backend layer.
+//
+// The paper's contribution is answering DBSCAN's ε-neighborhood queries with
+// ray-tracing traversal, but that is one of several possible substrates.
+// This interface is the single contract every query engine in the repository
+// implements (RT sphere scene, uniform grid, dense-box grid, point BVH,
+// brute force), and every DBSCAN variant consumes — so algorithms and
+// backends can be swapped and compared independently.
+//
+// Contract (see docs/ARCHITECTURE.md for the full invariants):
+//  * Boundaries are ε-INCLUSIVE: a point at exactly distance ε is a
+//    neighbor (`distance² <= eps²`), matching Ester et al.'s N_eps(p).
+//  * Self-hits are excluded by primitive id, not by distance: the query
+//    passes the dataset index `self` to exclude (kNoSelf for off-dataset
+//    query centers).  Duplicate coordinates are therefore still reported.
+//  * The set of ids visited is exact and identical across backends; only
+//    visit ORDER is backend-defined (tests/test_neighbor_index.cpp enforces
+//    set parity).
+//  * Queries are const and safe to run concurrently from many threads.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+
+#include "common/function_ref.hpp"
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+#include "index/index_kind.hpp"
+#include "rt/bvh.hpp"
+#include "rt/traversal.hpp"
+
+namespace rtd::index {
+
+/// Sentinel for "the query center is not a dataset member" — no self-hit to
+/// exclude.
+inline constexpr std::uint32_t kNoSelf =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Sentinel for query_count's `stop_at`: never stop early.
+inline constexpr std::uint32_t kNoCap =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Per-neighbor visitor: receives the dataset index of one neighbor.
+using NeighborVisitor = FunctionRef<void(std::uint32_t)>;
+
+/// Batched visitor: receives (query point index, neighbor index) pairs.
+using PairVisitor = FunctionRef<void(std::uint32_t, std::uint32_t)>;
+
+/// Abstract fixed-radius neighbor index over an immutable point set.
+///
+/// An index is built once over `points` for a build radius ε (the factory
+/// make_index() below); queries then enumerate exact ε-neighborhoods.  The
+/// caller owns the point storage, which must outlive the index.
+class NeighborIndex {
+ public:
+  virtual ~NeighborIndex() = default;
+
+  /// Stable backend name, equal to to_string(kind()).
+  [[nodiscard]] virtual const char* name() const { return to_string(kind()); }
+
+  /// Which backend this is (never kAuto).
+  [[nodiscard]] virtual IndexKind kind() const = 0;
+
+  /// The indexed points, in dataset order.
+  [[nodiscard]] virtual std::span<const geom::Vec3> points() const = 0;
+
+  /// Number of indexed points.
+  [[nodiscard]] std::size_t size() const { return points().size(); }
+
+  /// The ε the index was built for.  Per-query `eps` constraints against it
+  /// are backend-specific: grid requires eps <= build_eps (one-ring
+  /// guarantee), the RT sphere scene requires eps == build_eps (the radius
+  /// is baked into the geometry); brute force, dense-box and point-BVH
+  /// accept any radius.  A violation throws std::invalid_argument.
+  [[nodiscard]] virtual float build_eps() const = 0;
+
+  /// Visit every dataset index j != self with |points[j] - center| <= eps
+  /// (inclusive).  Exactly one query's worth of work counters (one "ray")
+  /// accumulates into `stats`.
+  virtual void query_sphere(const geom::Vec3& center, float eps,
+                            std::uint32_t self, NeighborVisitor visit,
+                            rt::TraversalStats& stats) const = 0;
+
+  /// Count the neighbors query_sphere would visit.  `stop_at` is an early-
+  /// termination hint: backends whose traversal supports termination return
+  /// as soon as the count reaches it (FDBSCAN's §VI-B optimization — the
+  /// caller only needs to know "at least stop_at").  The RT backend ignores
+  /// it, faithful to OptiX: an Intersection program cannot stop traversal,
+  /// so it always pays the full query and returns the exact count.
+  [[nodiscard]] virtual std::uint32_t query_count(
+      const geom::Vec3& center, float eps, std::uint32_t self,
+      rt::TraversalStats& stats, std::uint32_t stop_at = kNoCap) const;
+
+  /// Visit every dataset index whose point lies inside `box` (closed).  Used
+  /// by the dense-box DBSCAN phase that replaces per-point sphere queries
+  /// with one inflated-box query per dense cell.  The default implementation
+  /// is a counted linear scan; tree/grid backends override it.
+  virtual void query_box(const geom::Aabb& box, NeighborVisitor visit,
+                         rt::TraversalStats& stats) const;
+
+  /// Batched query: one ε-sphere query per dataset point, run in parallel;
+  /// `visit(i, j)` fires for every ordered neighbor pair (j != i,
+  /// |points[i] - points[j]| <= eps).  All pairs for a given i are delivered
+  /// from a single thread, but different i run concurrently — the visitor
+  /// must be safe for that.  `threads` = 0 uses all hardware threads.
+  virtual rt::LaunchStats query_all(float eps, PairVisitor visit,
+                                    int threads = 0) const;
+};
+
+/// Build configuration shared by the tree-based backends.
+struct IndexBuildOptions {
+  /// BVH construction settings (point-BVH and RT sphere backends).
+  rt::BuildOptions build;
+  /// Thread count for index construction and batched queries; 0 = all
+  /// hardware threads.
+  int threads = 0;
+};
+
+/// The kAuto heuristic: pick a backend from point count and density.
+///
+///  * tiny datasets (n <= 2048) — brute force: no build cost beats any tree;
+///  * very dense data (expected ε-cell occupancy >= 64) — dense-box: whole
+///    cells resolve without distance tests;
+///  * mid-size (n <= 65536) — grid: O(1) build, 27-cell queries;
+///  * large — the RT sphere BVH, the paper's regime.
+///
+/// Thresholds are rough single-machine measurements (see
+/// docs/ARCHITECTURE.md), deliberately deterministic so runs reproduce.
+[[nodiscard]] IndexKind choose_index_kind(std::span<const geom::Vec3> points,
+                                          float eps);
+
+/// Build a neighbor index over `points` for radius `eps`.  kAuto resolves
+/// via choose_index_kind().  The returned index references `points` — the
+/// caller keeps the storage alive for the index's lifetime.
+[[nodiscard]] std::unique_ptr<NeighborIndex> make_index(
+    std::span<const geom::Vec3> points, float eps,
+    IndexKind kind = IndexKind::kAuto, const IndexBuildOptions& options = {});
+
+}  // namespace rtd::index

@@ -1,0 +1,75 @@
+#include "index/point_bvh_index.hpp"
+
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "rt/traversal.hpp"
+
+namespace rtd::index {
+
+PointBvhIndex::PointBvhIndex(std::span<const geom::Vec3> points, float eps,
+                             const rt::BuildOptions& build)
+    : points_(points), eps_(eps) {
+  std::vector<geom::Aabb> bounds(points.size());
+  parallel_for(points.size(), [&](std::size_t i) {
+    bounds[i] = geom::Aabb::of_point(points_[i]);
+  });
+  bvh_ = rt::build_bvh(bounds, build);
+}
+
+void PointBvhIndex::query_sphere(const geom::Vec3& center, float eps,
+                                 std::uint32_t self, NeighborVisitor visit,
+                                 rt::TraversalStats& stats) const {
+  const geom::Aabb query = geom::Aabb::of_sphere(center, eps);
+  const float eps2 = eps * eps;
+  rt::traverse_overlap(
+      bvh_, query,
+      [&](std::uint32_t j) {
+        ++stats.isect_calls;
+        if (j != self &&
+            geom::distance_squared(center, points_[j]) <= eps2) {
+          visit(j);
+        }
+        return rt::TraversalControl::kContinue;
+      },
+      stats);
+}
+
+std::uint32_t PointBvhIndex::query_count(const geom::Vec3& center, float eps,
+                                         std::uint32_t self,
+                                         rt::TraversalStats& stats,
+                                         std::uint32_t stop_at) const {
+  const geom::Aabb query = geom::Aabb::of_sphere(center, eps);
+  const float eps2 = eps * eps;
+  std::uint32_t count = 0;
+  if (stop_at == 0) {
+    ++stats.rays;  // the query "launches" even though it resolves instantly
+    return 0;
+  }
+  rt::traverse_overlap(
+      bvh_, query,
+      [&](std::uint32_t j) {
+        ++stats.isect_calls;
+        if (j != self &&
+            geom::distance_squared(center, points_[j]) <= eps2) {
+          if (++count >= stop_at) return rt::TraversalControl::kTerminate;
+        }
+        return rt::TraversalControl::kContinue;
+      },
+      stats);
+  return count;
+}
+
+void PointBvhIndex::query_box(const geom::Aabb& box, NeighborVisitor visit,
+                              rt::TraversalStats& stats) const {
+  rt::traverse_overlap(
+      bvh_, box,
+      [&](std::uint32_t j) {
+        ++stats.isect_calls;
+        if (box.contains(points_[j])) visit(j);
+        return rt::TraversalControl::kContinue;
+      },
+      stats);
+}
+
+}  // namespace rtd::index

@@ -1,0 +1,52 @@
+// PointBvhIndex — FDBSCAN's substrate behind the NeighborIndex contract.
+//
+// A BVH over the bare data points (no ε inflation: the query volume carries
+// the radius).  A sphere query traverses with a box around the ε-sphere and
+// applies the exact distance filter at the leaves; because the traversal is
+// software, it CAN terminate early — this is the backend that realizes
+// FDBSCAN's §VI-B early-exit optimization, the one thing the RT pipeline
+// cannot express.  Radius-agnostic: one tree serves any query eps.
+#pragma once
+
+#include <span>
+
+#include "index/neighbor_index.hpp"
+
+namespace rtd::index {
+
+/// Point-BVH neighbor index (software volume-overlap traversal).
+class PointBvhIndex final : public NeighborIndex {
+ public:
+  /// Build a BVH over per-point AABBs with the given builder settings.
+  PointBvhIndex(std::span<const geom::Vec3> points, float eps,
+                const rt::BuildOptions& build = {});
+
+  [[nodiscard]] IndexKind kind() const override {
+    return IndexKind::kPointBvh;
+  }
+  [[nodiscard]] std::span<const geom::Vec3> points() const override {
+    return points_;
+  }
+  [[nodiscard]] float build_eps() const override { return eps_; }
+
+  void query_sphere(const geom::Vec3& center, float eps, std::uint32_t self,
+                    NeighborVisitor visit,
+                    rt::TraversalStats& stats) const override;
+
+  [[nodiscard]] std::uint32_t query_count(
+      const geom::Vec3& center, float eps, std::uint32_t self,
+      rt::TraversalStats& stats, std::uint32_t stop_at) const override;
+
+  void query_box(const geom::Aabb& box, NeighborVisitor visit,
+                 rt::TraversalStats& stats) const override;
+
+  /// The underlying tree (build statistics, ablation benches).
+  [[nodiscard]] const rt::Bvh& bvh() const { return bvh_; }
+
+ private:
+  std::span<const geom::Vec3> points_;
+  float eps_;
+  rt::Bvh bvh_;
+};
+
+}  // namespace rtd::index

@@ -20,25 +20,8 @@
 
 namespace rtd::rt {
 
-/// Result of one launch: wall time plus hardware counters summed over rays.
-struct LaunchStats {
-  double seconds = 0.0;
-  TraversalStats work;
-
-  /// Average BVH nodes visited per ray — the quantity the paper speculates
-  /// about in §V-C ("the hardware made relatively few calls to the
-  /// intersection program").
-  [[nodiscard]] double nodes_per_ray() const {
-    return work.rays ? static_cast<double>(work.nodes_visited) /
-                           static_cast<double>(work.rays)
-                     : 0.0;
-  }
-  [[nodiscard]] double isect_per_ray() const {
-    return work.rays ? static_cast<double>(work.isect_calls) /
-                           static_cast<double>(work.rays)
-                     : 0.0;
-  }
-};
+// LaunchStats lives in rt/traversal.hpp (included above) so the index layer
+// can report batched-query statistics without depending on the RT context.
 
 class Context {
  public:
@@ -79,28 +62,10 @@ class Context {
   /// `stats`.  Mirrors the CUDA-kernel launch of the paper's implementation.
   template <typename RayGen>
   LaunchStats launch(std::size_t ray_count, RayGen&& raygen) const {
-    Timer timer;
-    const int threads =
-        options_.threads > 0 ? options_.threads : hardware_threads();
-    std::vector<TraversalStats> per_thread(
-        static_cast<std::size_t>(threads));
-
-    {
-      ThreadCountGuard guard(threads);
-      parallel_for_ctx(
-          ray_count,
-          [&](std::size_t tid) -> TraversalStats* {
-            return &per_thread[tid];
-          },
-          [&](TraversalStats* stats, std::size_t ray_id) {
-            raygen(ray_id, *stats);
-          });
-    }
-
-    LaunchStats out;
-    out.seconds = timer.seconds();
-    for (const auto& s : per_thread) out.work += s;
-    return out;
+    return parallel_launch(ray_count, options_.threads,
+                           [&](TraversalStats& stats, std::size_t ray_id) {
+                             raygen(ray_id, stats);
+                           });
   }
 
  private:

@@ -13,7 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
 #include "geom/ray.hpp"
 #include "rt/bvh.hpp"
 
@@ -36,6 +39,51 @@ struct TraversalStats {
     return *this;
   }
 };
+
+/// Result of one batched launch (a set of traversals): wall time plus
+/// hardware counters summed over rays.  Produced by rt::Context::launch and
+/// by the batched index::NeighborIndex::query_all.
+struct LaunchStats {
+  double seconds = 0.0;   ///< wall-clock time of the whole batch
+  TraversalStats work;    ///< hardware work counters summed over all rays
+
+  /// Average BVH nodes visited per ray — the quantity the paper speculates
+  /// about in §V-C ("the hardware made relatively few calls to the
+  /// intersection program").
+  [[nodiscard]] double nodes_per_ray() const {
+    return work.rays ? static_cast<double>(work.nodes_visited) /
+                           static_cast<double>(work.rays)
+                     : 0.0;
+  }
+  /// Average Intersection-program invocations per ray.
+  [[nodiscard]] double isect_per_ray() const {
+    return work.rays ? static_cast<double>(work.isect_calls) /
+                           static_cast<double>(work.rays)
+                     : 0.0;
+  }
+};
+
+/// Launch harness: run `f(stats, i)` for i in [0, n) across `threads`
+/// workers (0 = all hardware threads), timing the batch and summing the
+/// per-thread work counters.  The one pattern behind rt::Context::launch,
+/// the index layer's batched query_all and the DBSCAN engine phases.
+template <typename F>
+LaunchStats parallel_launch(std::size_t n, int threads, F&& f) {
+  Timer timer;
+  const int t = threads > 0 ? threads : hardware_threads();
+  std::vector<TraversalStats> per_thread(static_cast<std::size_t>(t));
+  {
+    ThreadCountGuard guard(t);
+    parallel_for_ctx(
+        n,
+        [&](std::size_t tid) { return &per_thread[tid]; },
+        [&](TraversalStats* stats, std::size_t i) { f(*stats, i); });
+  }
+  LaunchStats out;
+  out.seconds = timer.seconds();
+  for (const auto& s : per_thread) out.work += s;
+  return out;
+}
 
 /// What a primitive callback tells the traversal loop to do next.
 ///
