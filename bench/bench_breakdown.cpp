@@ -126,5 +126,49 @@ int main(int argc, char** argv) {
   } else {
     sweep.print();
   }
+
+  // -------------------------------------------------------------------------
+  // Binary vs wide traversal sweep (PR 3): the two BVH-backed backends run
+  // the same engine over both layouts.  nodes/query shows the pop
+  // reduction the SoA kernel buys; isect/query shows the (bounded)
+  // candidate inflation of the coarser wide leaves.
+  // -------------------------------------------------------------------------
+  std::printf("\n--- Binary vs wide BVH traversal (unified engine, n=%zu) "
+              "---\n", total_n);
+  Table widths({"backend", "width", "build", "phase 1", "phase 2", "total",
+                "nodes/query", "isect/query"});
+  for (const index::IndexKind kind :
+       {index::IndexKind::kPointBvh, index::IndexKind::kBvhRt}) {
+    for (const rt::TraversalWidth width :
+         {rt::TraversalWidth::kBinary, rt::TraversalWidth::kWide}) {
+      index::IndexBuildOptions build_options;
+      build_options.build.width = width;
+      double build_s = 0.0;
+      dbscan::IndexEngineResult run;
+      bench::time_median(cfg.reps, [&] {
+        Timer build_timer;
+        const auto idx =
+            index::make_index(dataset.points, eps, kind, build_options);
+        build_s = build_timer.seconds();
+        run = dbscan::cluster_with_index(*idx, params);
+      });
+      bench::verify(dataset.points, params, rtr.clustering, run.clustering,
+                    rt::to_string(width));
+      widths.add_row(
+          {index::to_string(kind), rt::to_string(width),
+           Table::seconds(build_s), Table::seconds(run.phase1.seconds),
+           Table::seconds(run.phase2.seconds),
+           Table::seconds(build_s + run.phase1.seconds + run.phase2.seconds),
+           Table::num(run.phase1.nodes_per_ray() +
+                          run.phase2.nodes_per_ray(), 1),
+           Table::num(run.phase1.isect_per_ray() +
+                          run.phase2.isect_per_ray(), 1)});
+    }
+  }
+  if (cfg.csv) {
+    widths.print_csv();
+  } else {
+    widths.print();
+  }
   return 0;
 }

@@ -1,5 +1,9 @@
 // Substrate micro-benchmarks: BVH build and traversal throughput
-// (google-benchmark).  Characterizes the RT-core simulator itself.
+// (google-benchmark).  Characterizes the RT-core simulator itself,
+// including the binary-vs-wide traversal trade (PR 3): the *_Wide
+// benchmarks mirror their binary counterparts over the collapsed 8-ary
+// SoA layout, and the QuerySweep1M pair is the headline number recorded
+// in BENCH_PR3.json (scripts/bench_snapshot.sh).
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
@@ -7,6 +11,7 @@
 #include "geom/ray.hpp"
 #include "rt/bvh.hpp"
 #include "rt/traversal.hpp"
+#include "rt/wide_bvh.hpp"
 
 namespace {
 
@@ -49,6 +54,22 @@ void BM_BuildSah(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_BuildSah)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_CollapseWide(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto bounds = sphere_bounds(n, 0.3f);
+  const auto bvh = rt::build_bvh(bounds, {});
+  for (auto _ : state) {
+    auto wide = rt::collapse_bvh(bvh);
+    benchmark::DoNotOptimize(wide.nodes.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CollapseWide)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PointQueryTraversal(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -107,5 +128,130 @@ BENCHMARK(BM_OverlapQueryTraversal)
     ->Arg(10000)
     ->Arg(100000)
     ->Unit(benchmark::kMicrosecond);
+
+void BM_PointQueryTraversalWide(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dataset = data::taxi_gps(n, 7);
+  std::vector<geom::Aabb> bounds;
+  for (const auto& p : dataset.points) {
+    bounds.push_back(geom::Aabb::of_sphere(p, 0.3f));
+  }
+  const auto wide = rt::collapse_bvh(rt::build_bvh(bounds, {}));
+  rt::TraversalStats stats;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    rt::traverse(
+        wide, geom::Ray::point_query(dataset.points[q]),
+        [&](std::uint32_t) {
+          ++hits;
+          return rt::TraversalControl::kContinue;
+        },
+        stats);
+    benchmark::DoNotOptimize(hits);
+    q = (q + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointQueryTraversalWide)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_OverlapQueryTraversalWide(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dataset = data::taxi_gps(n, 7);
+  std::vector<geom::Aabb> bounds;
+  for (const auto& p : dataset.points) {
+    bounds.push_back(geom::Aabb::of_point(p));
+  }
+  const auto wide = rt::collapse_bvh(rt::build_bvh(bounds, {}));
+  rt::TraversalStats stats;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    rt::traverse_overlap(
+        wide, geom::Aabb::of_sphere(dataset.points[q], 0.3f),
+        [&](std::uint32_t) {
+          ++hits;
+          return rt::TraversalControl::kContinue;
+        },
+        stats);
+    benchmark::DoNotOptimize(hits);
+    q = (q + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OverlapQueryTraversalWide)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// The headline sweep: ε-sphere point queries against a 1M-point uniform
+// cube, binary vs wide.  One iteration = one query, cycling through the
+// dataset — the same access pattern as an engine phase-1 pass.
+// ---------------------------------------------------------------------------
+
+const data::Dataset& uniform_1m() {
+  static const data::Dataset dataset = data::uniform_cube(1000000, 100.0f,
+                                                          3, 2024);
+  return dataset;
+}
+
+const rt::Bvh& uniform_1m_bvh() {
+  static const rt::Bvh bvh = [] {
+    const auto& dataset = uniform_1m();
+    std::vector<geom::Aabb> bounds;
+    bounds.reserve(dataset.points.size());
+    for (const auto& p : dataset.points) {
+      bounds.push_back(geom::Aabb::of_sphere(p, 1.0f));
+    }
+    return rt::build_bvh(bounds, {});
+  }();
+  return bvh;
+}
+
+void BM_QuerySweep1M_Binary(benchmark::State& state) {
+  const auto& dataset = uniform_1m();
+  const auto& bvh = uniform_1m_bvh();
+  rt::TraversalStats stats;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    rt::traverse(
+        bvh, geom::Ray::point_query(dataset.points[q]),
+        [&](std::uint32_t) {
+          ++hits;
+          return rt::TraversalControl::kContinue;
+        },
+        stats);
+    benchmark::DoNotOptimize(hits);
+    q = (q + 1) % dataset.points.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuerySweep1M_Binary)->Unit(benchmark::kMicrosecond);
+
+void BM_QuerySweep1M_Wide(benchmark::State& state) {
+  const auto& dataset = uniform_1m();
+  static const rt::WideBvh wide = rt::collapse_bvh(uniform_1m_bvh());
+  rt::TraversalStats stats;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    rt::traverse(
+        wide, geom::Ray::point_query(dataset.points[q]),
+        [&](std::uint32_t) {
+          ++hits;
+          return rt::TraversalControl::kContinue;
+        },
+        stats);
+    benchmark::DoNotOptimize(hits);
+    q = (q + 1) % dataset.points.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuerySweep1M_Wide)->Unit(benchmark::kMicrosecond);
 
 }  // namespace

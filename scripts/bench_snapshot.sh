@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Emit a machine-readable perf snapshot of the BVH traversal hot path.
+#
+# Usage: scripts/bench_snapshot.sh [build-dir] [output.json]
+#   scripts/bench_snapshot.sh build/release BENCH_PR3.json
+#
+# Runs the binary-vs-wide micro sweeps of bench_micro_bvh (google-benchmark
+# JSON) and the width sweep of bench_breakdown (CSV), then merges both into
+# one JSON document with the headline binary/wide speedup computed from the
+# 1M-point uniform query sweep.  Fails if the wide walk regresses below the
+# recorded floor, so the perf harness doubles as a regression gate.
+set -euo pipefail
+
+build_dir="${1:-build/release}"
+out_file="${2:-BENCH_PR3.json}"
+micro="${build_dir}/bench/bench_micro_bvh"
+breakdown="${build_dir}/bench/bench_breakdown"
+
+if [[ ! -x "${micro}" ]]; then
+  echo "error: ${micro} not found (configure with system google-benchmark" \
+       "and build first: cmake --preset release && cmake --build" \
+       "--preset release)" >&2
+  exit 1
+fi
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+echo "== bench_micro_bvh (binary vs wide sweeps)"
+"${micro}" \
+  --benchmark_filter='QuerySweep1M|PointQueryTraversal|OverlapQueryTraversal|CollapseWide|BuildLbvh' \
+  --benchmark_repetitions="${BENCH_REPS:-3}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"${tmp_dir}/micro.json"
+
+echo "== bench_breakdown (engine-level width sweep)"
+"${breakdown}" --csv --reps "${BENCH_REPS:-3}" >"${tmp_dir}/breakdown.csv"
+
+python3 - "${tmp_dir}/micro.json" "${tmp_dir}/breakdown.csv" "${out_file}" \
+  <<'PYEOF'
+import json
+import sys
+
+micro_path, breakdown_path, out_path = sys.argv[1:4]
+with open(micro_path) as f:
+    micro = json.load(f)
+with open(breakdown_path) as f:
+    breakdown_csv = f.read()
+
+def median_time(name):
+    for b in micro["benchmarks"]:
+        if b["name"] == name + "_median":
+            return b["real_time"]  # in the benchmark's time_unit (us here)
+    return None
+
+binary = median_time("BM_QuerySweep1M_Binary")
+wide = median_time("BM_QuerySweep1M_Wide")
+speedup = (binary / wide) if (binary and wide) else None
+
+snapshot = {
+    "pr": 3,
+    "headline": {
+        "benchmark": "BM_QuerySweep1M (1M-point uniform cube, eps-sphere "
+                     "point queries, single core)",
+        "binary_us_per_query": binary,
+        "wide_us_per_query": wide,
+        "wide_speedup": speedup,
+        "target": ">= 1.5x",
+    },
+    "context": micro.get("context", {}),
+    "micro_benchmarks": micro["benchmarks"],
+    "breakdown_width_sweep_csv": breakdown_csv,
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+if speedup is None:
+    # Fail closed: a renamed benchmark or filter drift must not silently
+    # disable the regression gate.
+    print("FAIL: headline QuerySweep1M medians not found in benchmark "
+          "output", file=sys.stderr)
+    sys.exit(1)
+print(f"headline: wide is {speedup:.2f}x the binary walk")
+if speedup < 1.5:
+    print("FAIL: wide speedup below the 1.5x floor", file=sys.stderr)
+    sys.exit(1)
+PYEOF

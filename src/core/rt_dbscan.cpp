@@ -37,6 +37,15 @@ void validate_params(const Params& params) {
   if (params.min_pts == 0) {
     throw std::invalid_argument("rt_dbscan: min_pts must be >= 1");
   }
+  // rt_dbscan IS the kBvhRt backend; asking it for another one is a caller
+  // error (use rtd::cluster or the engine for backend-generic runs).
+  if (params.index != index::IndexKind::kAuto &&
+      params.index != index::IndexKind::kBvhRt) {
+    throw std::invalid_argument(
+        std::string("rt_dbscan: Params::index requests '") +
+        index::to_string(params.index) +
+        "' but rt_dbscan always runs the RT sphere scene (kBvhRt)");
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -45,7 +45,10 @@ struct Params {
   /// the consuming algorithm's traditional substrate (grid for the
   /// sequential reference, brute force for G-DBSCAN, point-BVH for
   /// FDBSCAN) or, for the generic engine, to the density heuristic
-  /// index::choose_index_kind().
+  /// index::choose_index_kind().  Consistency is enforced: entry points
+  /// that receive a pre-built index (dbscan::cluster_with_index) reject a
+  /// concrete value that contradicts it, and core::rt_dbscan rejects
+  /// anything but kAuto/kBvhRt.
   index::IndexKind index = index::IndexKind::kAuto;
 
   /// ε², the quantity every exact distance filter compares against.

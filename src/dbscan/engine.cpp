@@ -7,6 +7,7 @@
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "geom/morton.hpp"
+#include "rt/parallel_launch.hpp"
 
 namespace rtd::dbscan {
 
@@ -92,6 +93,16 @@ IndexEngineResult cluster_with_index(const index::NeighborIndex& index,
   }
   if (params.min_pts == 0) {
     throw std::invalid_argument("cluster_with_index: min_pts must be >= 1");
+  }
+  // The caller built the index, so Params::index must agree with it (kAuto
+  // always does) — a mismatch means the caller resolved the backend one way
+  // and recorded another, which would make every downstream report lie.
+  if (params.index != index::IndexKind::kAuto &&
+      params.index != index.kind()) {
+    throw std::invalid_argument(
+        std::string("cluster_with_index: Params::index requests '") +
+        index::to_string(params.index) + "' but the supplied index is '" +
+        index.name() + "'");
   }
 
   Timer total;

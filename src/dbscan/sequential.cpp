@@ -1,11 +1,11 @@
 #include "dbscan/sequential.hpp"
 
-#include <deque>
 #include <stdexcept>
 #include <vector>
 
 #include "common/timer.hpp"
 #include "index/neighbor_index.hpp"
+#include "index/query_scratch.hpp"
 
 namespace rtd::dbscan {
 
@@ -34,12 +34,16 @@ Clustering sequential_dbscan(std::span<const geom::Vec3> points,
   const auto index = index::make_index(points, params.eps, kind);
   out.timings.index_build_seconds = phase.seconds();
 
-  // Materialized neighbor lists, as Algorithm 1's explicit NeighborSet.
+  // Materialized neighbor lists, as Algorithm 1's explicit NeighborSet —
+  // staged in the thread's QueryScratch arena instead of a fresh vector per
+  // query (the borrow is consumed before the next query re-borrows it).
   // The index contract excludes the query point itself; Algorithm 1's
   // |N_eps(p)| includes it, hence the +1 in the core tests below.
   rt::TraversalStats stats;  // sequential: one accumulator is enough
-  const auto neighbors_of = [&](std::uint32_t p) {
-    std::vector<std::uint32_t> ids;
+  index::QueryScratch& scratch = index::QueryScratch::local();
+  const auto neighbors_of =
+      [&](std::uint32_t p) -> const std::vector<std::uint32_t>& {
+    auto& ids = scratch.acquire_neighbors();
     index->query_sphere(points[p], params.eps, p,
                         [&](std::uint32_t j) { ids.push_back(j); }, stats);
     return ids;
@@ -52,13 +56,16 @@ Clustering sequential_dbscan(std::span<const geom::Vec3> points,
   constexpr std::int32_t kUnassigned = kNoiseLabel;
   std::vector<bool> visited(n, false);
   std::int32_t next_cluster = 0;
+  // Breadth-first worklist, borrowed from the arena (vector + head cursor
+  // replaces the former std::deque — same FIFO order, reusable storage).
+  std::vector<std::uint32_t>& work = scratch.acquire_worklist();
 
   for (std::uint32_t p = 0; p < n; ++p) {
     if (visited[p]) continue;
     visited[p] = true;
 
     // Line 2: Neighbors <- FindNeighbors(p), excluding p itself.
-    std::vector<std::uint32_t> neighbors = neighbors_of(p);
+    const std::vector<std::uint32_t>& neighbors = neighbors_of(p);
     if (neighbors.size() + 1 < params.min_pts) {
       continue;  // Lines 3-4: p <- NOISE (labels already kNoiseLabel)
     }
@@ -69,10 +76,10 @@ Clustering sequential_dbscan(std::span<const geom::Vec3> points,
     out.is_core[p] = 1;
 
     // Lines 7-16: expand through the neighbor set (breadth-first worklist).
-    std::deque<std::uint32_t> work(neighbors.begin(), neighbors.end());
-    while (!work.empty()) {
-      const std::uint32_t q = work.front();
-      work.pop_front();
+    work.assign(neighbors.begin(), neighbors.end());
+    std::size_t head = 0;
+    while (head < work.size()) {
+      const std::uint32_t q = work[head++];
 
       // Line 9-11: unassigned or noise neighbors join the cluster.
       if (out.labels[q] == kUnassigned) {
@@ -82,7 +89,7 @@ Clustering sequential_dbscan(std::span<const geom::Vec3> points,
       visited[q] = true;
 
       // Lines 11-14: expand through q if q is itself a core point.
-      std::vector<std::uint32_t> q_neighbors = neighbors_of(q);
+      const std::vector<std::uint32_t>& q_neighbors = neighbors_of(q);
       if (q_neighbors.size() + 1 >= params.min_pts) {
         out.is_core[q] = 1;
         out.labels[q] = cluster;  // core points always belong to the cluster

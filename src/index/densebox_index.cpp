@@ -111,10 +111,11 @@ bool DenseBoxIndex::for_cells_overlapping(const Aabb& box,
   return true;
 }
 
-void DenseBoxIndex::query_sphere(const Vec3& center, float eps,
-                                 std::uint32_t self, NeighborVisitor visit,
-                                 rt::TraversalStats& stats) const {
-  ++stats.rays;
+template <typename OnNeighbor>
+void DenseBoxIndex::for_neighbors_until(const Vec3& center, float eps,
+                                        std::uint32_t self,
+                                        rt::TraversalStats& stats,
+                                        OnNeighbor&& on_neighbor) const {
   const float eps2 = eps * eps;
   const Aabb ball = Aabb::of_sphere(center, eps);
   const bool walked = for_cells_overlapping(ball, [&](const Cell& c) {
@@ -125,7 +126,7 @@ void DenseBoxIndex::query_sphere(const Vec3& center, float eps,
     if (max_distance_squared(center, c.bounds.lo, c.bounds.hi) <= eps2) {
       // Whole-cell certificate: every member is a neighbor, no tests.
       for (const auto m : c.members) {
-        if (m != self) visit(m);
+        if (m != self && !on_neighbor(m)) return false;
       }
       return true;
     }
@@ -133,7 +134,7 @@ void DenseBoxIndex::query_sphere(const Vec3& center, float eps,
       ++stats.isect_calls;
       if (m != self &&
           geom::distance_squared(center, points_[m]) <= eps2) {
-        visit(m);
+        if (!on_neighbor(m)) return false;
       }
     }
     return true;
@@ -144,10 +145,20 @@ void DenseBoxIndex::query_sphere(const Vec3& center, float eps,
     for (std::uint32_t j = 0; j < points_.size(); ++j) {
       ++stats.isect_calls;
       if (j != self && geom::distance_squared(center, points_[j]) <= eps2) {
-        visit(j);
+        if (!on_neighbor(j)) return;
       }
     }
   }
+}
+
+void DenseBoxIndex::query_sphere(const Vec3& center, float eps,
+                                 std::uint32_t self, NeighborVisitor visit,
+                                 rt::TraversalStats& stats) const {
+  ++stats.rays;
+  for_neighbors_until(center, eps, self, stats, [&](std::uint32_t m) {
+    visit(m);
+    return true;
+  });
 }
 
 std::uint32_t DenseBoxIndex::query_count(const Vec3& center, float eps,
@@ -156,40 +167,10 @@ std::uint32_t DenseBoxIndex::query_count(const Vec3& center, float eps,
                                          std::uint32_t stop_at) const {
   ++stats.rays;
   if (stop_at == 0) return 0;
-  const float eps2 = eps * eps;
-  const Aabb ball = Aabb::of_sphere(center, eps);
   std::uint32_t count = 0;
-  const bool walked = for_cells_overlapping(ball, [&](const Cell& c) {
-    ++stats.aabb_tests;
-    if (min_distance_squared(center, c.bounds.lo, c.bounds.hi) > eps2) {
-      return true;
-    }
-    if (max_distance_squared(center, c.bounds.lo, c.bounds.hi) <= eps2) {
-      count += static_cast<std::uint32_t>(c.members.size());
-      for (const auto m : c.members) {
-        if (m == self) { --count; break; }
-      }
-      return count < stop_at;
-    }
-    for (const auto m : c.members) {
-      ++stats.isect_calls;
-      if (m != self &&
-          geom::distance_squared(center, points_[m]) <= eps2) {
-        if (++count >= stop_at) return false;
-      }
-    }
-    return true;
-  });
-  if (!walked) {
-    // Radius far above the build ε: degrade to a counted linear scan.
-    for (std::uint32_t j = 0; j < points_.size(); ++j) {
-      ++stats.isect_calls;
-      if (j != self && geom::distance_squared(center, points_[j]) <= eps2) {
-        if (++count >= stop_at) return count;
-      }
-    }
-  }
-  return std::min(count, stop_at);
+  for_neighbors_until(center, eps, self, stats,
+                      [&](std::uint32_t) { return ++count < stop_at; });
+  return count;
 }
 
 void DenseBoxIndex::query_box(const Aabb& box, NeighborVisitor visit,

@@ -85,6 +85,16 @@ class DenseBoxIndex final : public NeighborIndex {
   template <typename CellFn>
   bool for_cells_overlapping(const geom::Aabb& box, CellFn&& f) const;
 
+  /// The one ε-sphere walk behind query_sphere AND query_count: cell
+  /// certificates, exact member tests, work counters and the oversized-
+  /// radius linear-scan fallback live here once.  `on_neighbor(m)` fires
+  /// for each confirmed neighbor and returns false to stop the query
+  /// (query_count's stop_at); query_sphere's visitor always continues.
+  template <typename OnNeighbor>
+  void for_neighbors_until(const geom::Vec3& center, float eps,
+                           std::uint32_t self, rt::TraversalStats& stats,
+                           OnNeighbor&& on_neighbor) const;
+
   std::span<const geom::Vec3> points_;
   float eps_;
   float cell_ = 0.0f;

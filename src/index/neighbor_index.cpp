@@ -11,6 +11,7 @@
 #include "index/densebox_index.hpp"
 #include "index/grid_index.hpp"
 #include "index/point_bvh_index.hpp"
+#include "rt/parallel_launch.hpp"
 
 namespace rtd::index {
 

@@ -42,11 +42,15 @@ class PointBvhIndex final : public NeighborIndex {
 
   /// The underlying tree (build statistics, ablation benches).
   [[nodiscard]] const rt::Bvh& bvh() const { return bvh_; }
+  /// The collapsed wide layout; empty when queries walk the binary tree
+  /// (rt::BuildOptions::width, rt::use_wide_traversal).
+  [[nodiscard]] const rt::WideBvh& wide_bvh() const { return wide_; }
 
  private:
   std::span<const geom::Vec3> points_;
   float eps_;
   rt::Bvh bvh_;
+  rt::WideBvh wide_;  ///< collapsed layout; empty when traversal is binary
 };
 
 }  // namespace rtd::index

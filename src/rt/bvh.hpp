@@ -23,6 +23,19 @@ enum class BuildAlgorithm { kLbvh, kBinnedSah };
 
 const char* to_string(BuildAlgorithm algo);
 
+/// Which traversal layout the structures owning a BVH use at query time.
+///
+/// kBinary walks the 2-ary node tree below directly; kWide collapses it
+/// into the 8-ary structure-of-arrays layout of rt/wide_bvh.hpp, whose
+/// one-node-tests-8-children kernel is the fast path on large trees.
+/// kAuto picks wide above a measured primitive-count threshold
+/// (rt::kWideBvhMinPrims).  This is a layout choice of the traversal
+/// *consumers* (SphereAccel, index::PointBvhIndex) — build_bvh() always
+/// produces the binary tree; the wide layout is derived from it.
+enum class TraversalWidth : std::uint8_t { kAuto = 0, kBinary, kWide };
+
+const char* to_string(TraversalWidth width);
+
 /// One BVH node, 32 bytes of bounds + 8 bytes of topology.
 ///
 /// Internal nodes: `left_or_first` is the index of the left child and the
@@ -84,6 +97,9 @@ struct BuildOptions {
   std::uint32_t sah_bins = 16;
   /// Parallelize the build across OpenMP tasks (LBVH sort + top-down split).
   bool parallel = true;
+  /// Traversal layout the owning structure derives from the built tree
+  /// (ignored by build_bvh itself — see TraversalWidth).
+  TraversalWidth width = TraversalWidth::kAuto;
 };
 
 /// Build a BVH over primitives with the given bounds.  This is the

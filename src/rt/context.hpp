@@ -14,6 +14,7 @@
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "rt/bvh.hpp"
+#include "rt/parallel_launch.hpp"
 #include "rt/scene.hpp"
 #include "rt/tessellate.hpp"
 #include "rt/traversal.hpp"

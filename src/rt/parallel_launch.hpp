@@ -1,0 +1,56 @@
+// Launch harness — the one batched-execution pattern behind
+// rt::Context::launch, the index layer's query_all and the DBSCAN engine
+// phases.  Split out of rt/traversal.hpp so the traversal header stays a
+// pure walk-kernel header (it now carries both the binary and the wide
+// walk) and so the harness's threading deps (OpenMP wrappers, timers)
+// don't leak into every traversal user.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "rt/traversal.hpp"
+
+namespace rtd::rt {
+
+/// Launch harness: run `f(stats, i)` for i in [0, n) across `threads`
+/// workers (0 = all hardware threads), timing the batch and summing the
+/// per-thread work counters.
+///
+/// Steady-state zero-allocation: the per-thread accumulator buffer is
+/// thread_local to the launching thread and reused across launches (its
+/// capacity grows to the peak thread count once, then stays), and a
+/// single-thread launch runs inline without entering an OpenMP region at
+/// all.  Launches must not nest on one thread — no caller does; `f` runs
+/// on the workers, never re-launching.
+template <typename F>
+LaunchStats parallel_launch(std::size_t n, int threads, F&& f) {
+  Timer timer;
+  const int t = threads > 0 ? threads : hardware_threads();
+  LaunchStats out;
+
+  if (t == 1) {
+    TraversalStats stats;
+    for (std::size_t i = 0; i < n; ++i) f(stats, i);
+    out.seconds = timer.seconds();
+    out.work = stats;
+    return out;
+  }
+
+  static thread_local std::vector<TraversalStats> per_thread;
+  per_thread.assign(static_cast<std::size_t>(t), TraversalStats{});
+  {
+    ThreadCountGuard guard(t);
+    parallel_for_ctx(
+        n,
+        [&](std::size_t tid) { return &per_thread[tid]; },
+        [&](TraversalStats* stats, std::size_t i) { f(*stats, i); });
+  }
+  out.seconds = timer.seconds();
+  for (const auto& s : per_thread) out.work += s;
+  return out;
+}
+
+}  // namespace rtd::rt

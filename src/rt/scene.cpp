@@ -17,6 +17,9 @@ SphereAccel::SphereAccel(std::vector<geom::Vec3> centers, float radius,
     bounds[i] = geom::Aabb::of_sphere(centers_[i], radius_);
   });
   bvh_ = build_bvh(bounds, options);
+  if (use_wide_traversal(options.width, centers_.size())) {
+    wide_ = collapse_bvh(bvh_);
+  }
 }
 
 void SphereAccel::set_radius(float radius) {
@@ -29,6 +32,9 @@ void SphereAccel::set_radius(float radius) {
     bounds[i] = geom::Aabb::of_sphere(centers_[i], radius_);
   });
   bvh_.refit(bounds);
+  // The wide layout shares the binary topology, so a refit replays in place
+  // (no re-collapse).
+  if (!wide_.empty()) wide_.refit_from(bvh_);
 }
 
 TriangleAccel::TriangleAccel(std::vector<geom::Triangle> triangles,

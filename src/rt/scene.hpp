@@ -40,16 +40,21 @@ class SphereAccel {
   }
   [[nodiscard]] const Bvh& bvh() const { return bvh_; }
   [[nodiscard]] const BuildStats& build_stats() const { return bvh_.stats; }
+  /// The collapsed wide layout; empty when the build resolved to binary
+  /// traversal (BuildOptions::width, rt::use_wide_traversal).
+  [[nodiscard]] const WideBvh& wide_bvh() const { return wide_; }
 
   /// Trace one ray.  `isect_program(prim_id)` is invoked for every candidate
   /// sphere whose AABB the ray hits; per OptiX semantics it cannot terminate
   /// traversal.  The program is responsible for the exact distance test —
-  /// helpers below provide it.
+  /// helpers below provide it.  The walk runs over the wide layout when one
+  /// was built — a conservative candidate superset that the exact test
+  /// filters identically (test-enforced).
   template <typename IsectProgram>
   void trace(const geom::Ray& ray, IsectProgram&& isect_program,
              TraversalStats& stats) const {
     traverse(
-        bvh_, ray,
+        bvh_, wide_, ray,
         [&](std::uint32_t prim) {
           ++stats.isect_calls;
           isect_program(prim);
@@ -75,6 +80,7 @@ class SphereAccel {
   std::vector<geom::Vec3> centers_;
   float radius_;
   Bvh bvh_;
+  WideBvh wide_;  ///< collapsed layout; empty when traversal is binary
 };
 
 /// Acceleration structure over triangles, each owned by a data point

@@ -1,0 +1,120 @@
+// Zero-allocation contract of the query hot path: once an index is built
+// and one pass has warmed the thread-local scratch (rt/parallel_launch.hpp,
+// index/query_scratch.hpp), a full query_all pass and individual
+// query_sphere/query_count calls perform NO heap allocations, on every
+// backend.  This TU replaces the global allocation functions with counting
+// versions; it must stay its own test binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "data/generators.hpp"
+#include "index/neighbor_index.hpp"
+#include "index/query_scratch.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_live_allocations{0};
+
+void* counted_alloc(std::size_t size, std::size_t align) {
+  g_live_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                : std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  return counted_alloc(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size) {
+  return counted_alloc(size, alignof(std::max_align_t));
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace rtd::index {
+namespace {
+
+std::uint64_t allocations_during(FunctionRef<void()> f) {
+  const std::uint64_t before =
+      g_live_allocations.load(std::memory_order_relaxed);
+  f();
+  return g_live_allocations.load(std::memory_order_relaxed) - before;
+}
+
+TEST(QueryAllocation, WarmQueryAllPassAllocatesNothingOnAnyBackend) {
+  // Large enough that kPointBvh/kBvhRt run the wide SoA walk (n above
+  // rt::kWideBvhMinPrims), so the hot path under test is the shipped one.
+  const auto dataset = data::taxi_gps(10000, 77);
+  const float eps = 0.15f;
+
+  for (const IndexKind kind : kAllIndexKinds) {
+    const auto index = make_index(dataset.points, eps, kind);
+    std::uint64_t pair_count = 0;
+    const auto pass = [&] {
+      (void)index->query_all(
+          eps, [&](std::uint32_t, std::uint32_t) { ++pair_count; },
+          /*threads=*/1);
+    };
+    pass();  // warm: thread-local buffers reach their high-water mark
+    pass();
+    const std::uint64_t during = allocations_during(pass);
+    EXPECT_EQ(during, 0u) << index->name();
+    EXPECT_GT(pair_count, 0u) << index->name();
+  }
+}
+
+TEST(QueryAllocation, WarmSingleQueriesAllocateNothing) {
+  const auto dataset = data::taxi_gps(10000, 78);
+  const float eps = 0.15f;
+  for (const IndexKind kind : kAllIndexKinds) {
+    const auto index = make_index(dataset.points, eps, kind);
+    rt::TraversalStats stats;
+    std::uint64_t sum = 0;
+    const auto queries = [&] {
+      for (std::uint32_t q = 0; q < 512; ++q) {
+        index->query_sphere(dataset.points[q], eps, q,
+                            [&](std::uint32_t j) { sum += j; }, stats);
+        sum += index->query_count(dataset.points[q], eps, q, stats, 8);
+      }
+    };
+    queries();
+    EXPECT_EQ(allocations_during(queries), 0u) << index->name();
+    EXPECT_GT(sum, 0u);
+  }
+}
+
+TEST(QueryAllocation, ScratchArenaReusesCapacity) {
+  QueryScratch& scratch = QueryScratch::local();
+  auto& first = scratch.acquire_neighbors();
+  first.assign(1024, 7u);
+  const std::uint64_t during = allocations_during([&] {
+    auto& again = scratch.acquire_neighbors();
+    EXPECT_TRUE(again.empty());
+    again.assign(512, 9u);  // within the warmed capacity
+  });
+  EXPECT_EQ(during, 0u);
+}
+
+}  // namespace
+}  // namespace rtd::index

@@ -1,0 +1,411 @@
+// Wide (8-ary) BVH: collapse validation, binary-vs-wide traversal parity,
+// leaf-collapse edge cases, refit, and wide-vs-binary clustering parity
+// through every BVH-backed variant and backend.
+#include "rt/wide_bvh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/api.hpp"
+#include "core/rt_dbscan.hpp"
+#include "data/generators.hpp"
+#include "dbscan/engine.hpp"
+#include "dbscan/fdbscan.hpp"
+#include "dbscan_test_util.hpp"
+#include "index/bvh_rt_index.hpp"
+#include "index/point_bvh_index.hpp"
+#include "rt/scene.hpp"
+#include "rt/traversal.hpp"
+
+namespace rtd::rt {
+namespace {
+
+using geom::Aabb;
+using geom::Ray;
+using geom::Vec3;
+
+std::vector<Aabb> sphere_bounds(std::span<const Vec3> points, float radius) {
+  std::vector<Aabb> bounds;
+  bounds.reserve(points.size());
+  for (const auto& p : points) {
+    bounds.push_back(Aabb::of_sphere(p, radius));
+  }
+  return bounds;
+}
+
+template <typename BvhT>
+std::vector<std::uint32_t> ray_candidates(const BvhT& bvh, const Ray& ray,
+                                          TraversalStats& stats) {
+  std::vector<std::uint32_t> ids;
+  traverse(
+      bvh, ray,
+      [&](std::uint32_t prim) {
+        ids.push_back(prim);
+        return TraversalControl::kContinue;
+      },
+      stats);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+template <typename BvhT>
+std::vector<std::uint32_t> overlap_candidates(const BvhT& bvh,
+                                              const Aabb& query,
+                                              TraversalStats& stats) {
+  std::vector<std::uint32_t> ids;
+  traverse_overlap(
+      bvh, query,
+      [&](std::uint32_t prim) {
+        ids.push_back(prim);
+        return TraversalControl::kContinue;
+      },
+      stats);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool is_subset(const std::vector<std::uint32_t>& sub,
+               const std::vector<std::uint32_t>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+/// The candidate contract of the wide walk: a SUPERSET of the binary
+/// walk's candidates (its leaf lanes absorb whole subtrees), and after the
+/// exact per-primitive test both reduce to the same set.
+template <typename ExactTest>
+void expect_candidate_contract(const std::vector<std::uint32_t>& wide_ids,
+                               const std::vector<std::uint32_t>& binary_ids,
+                               ExactTest&& exact, const char* what) {
+  EXPECT_TRUE(is_subset(binary_ids, wide_ids)) << what;
+  std::vector<std::uint32_t> wide_exact;
+  for (const auto id : wide_ids) {
+    if (exact(id)) wide_exact.push_back(id);
+  }
+  std::vector<std::uint32_t> binary_exact;
+  for (const auto id : binary_ids) {
+    if (exact(id)) binary_exact.push_back(id);
+  }
+  EXPECT_EQ(wide_exact, binary_exact) << what;
+}
+
+TEST(WideBvh, CollapseValidatesOnBothBuilders) {
+  const auto dataset = data::taxi_gps(4000, 7);
+  const auto bounds = sphere_bounds(dataset.points, 0.3f);
+  for (const BuildAlgorithm algo :
+       {BuildAlgorithm::kLbvh, BuildAlgorithm::kBinnedSah}) {
+    BuildOptions opts;
+    opts.algorithm = algo;
+    const Bvh binary = build_bvh(bounds, opts);
+    ASSERT_EQ(binary.validate(bounds), "");
+    const WideBvh wide = collapse_bvh(binary);
+    EXPECT_EQ(wide.validate(bounds), "") << to_string(algo);
+    EXPECT_EQ(wide.prim_index, binary.prim_index) << to_string(algo);
+    EXPECT_LT(wide.nodes.size(), binary.nodes.size()) << to_string(algo);
+    EXPECT_LE(wide.max_depth, binary.stats.max_depth) << to_string(algo);
+  }
+}
+
+TEST(WideBvh, RayTraversalParityWithBinary) {
+  const auto dataset = data::taxi_gps(3000, 11);
+  const auto bounds = sphere_bounds(dataset.points, 0.25f);
+  const Bvh binary = build_bvh(bounds, {});
+  const WideBvh wide = collapse_bvh(binary);
+  Rng rng(99);
+
+  TraversalStats binary_stats;
+  TraversalStats wide_stats;
+  for (std::size_t q = 0; q < dataset.points.size(); q += 37) {
+    // The paper's degenerate point query...
+    const Ray point_ray = Ray::point_query(dataset.points[q]);
+    const auto ray_exact = [&](const Ray& r) {
+      return [&bounds, r](std::uint32_t id) {
+        return geom::ray_intersects_aabb(r, bounds[id]);
+      };
+    };
+    expect_candidate_contract(ray_candidates(wide, point_ray, wide_stats),
+                              ray_candidates(binary, point_ray, binary_stats),
+                              ray_exact(point_ray), "point ray");
+    // ...and ordinary finite rays, including axis-parallel ones (zero
+    // direction components exercise the slab test's parallel branch).
+    const Ray finite{dataset.points[q],
+                     {static_cast<float>(rng.uniform() - 0.5),
+                      static_cast<float>(rng.uniform() - 0.5),
+                      q % 3 == 0 ? 0.0f
+                                 : static_cast<float>(rng.uniform() - 0.5)},
+                     0.0f,
+                     q % 5 == 0 ? 2.0f : 1e30f};
+    expect_candidate_contract(ray_candidates(wide, finite, wide_stats),
+                              ray_candidates(binary, finite, binary_stats),
+                              ray_exact(finite), "finite ray");
+  }
+  // The point of the layout: far fewer node pops for the same exact
+  // results and the same per-query launch count.
+  EXPECT_EQ(wide_stats.rays, binary_stats.rays);
+  EXPECT_LT(wide_stats.nodes_visited, binary_stats.nodes_visited);
+}
+
+TEST(WideBvh, OverlapTraversalParityWithBinary) {
+  const auto dataset = data::uniform_cube(2500, 15.0f, 3, 13);
+  const auto bounds = sphere_bounds(dataset.points, 0.0f);
+  const Bvh binary = build_bvh(bounds, {});
+  const WideBvh wide = collapse_bvh(binary);
+
+  TraversalStats binary_stats;
+  TraversalStats wide_stats;
+  const auto check = [&](const Aabb& query) {
+    expect_candidate_contract(
+        overlap_candidates(wide, query, wide_stats),
+        overlap_candidates(binary, query, binary_stats),
+        [&](std::uint32_t id) { return query.overlaps(bounds[id]); },
+        "overlap");
+  };
+  for (std::size_t q = 0; q < dataset.points.size(); q += 29) {
+    check(Aabb::of_sphere(dataset.points[q], 0.8f));
+  }
+  // An all-covering box surfaces every primitive on both layouts.
+  const Aabb everything{{-100, -100, -100}, {100, 100, 100}};
+  EXPECT_EQ(overlap_candidates(wide, everything, wide_stats),
+            overlap_candidates(binary, everything, binary_stats));
+  const Aabb nothing{{500, 500, 500}, {501, 501, 501}};
+  EXPECT_TRUE(overlap_candidates(wide, nothing, wide_stats).empty());
+}
+
+TEST(WideBvh, LeafCollapseEdgeCases) {
+  // Empty scene.
+  const Bvh empty_binary = build_bvh({}, {});
+  const WideBvh empty_wide = collapse_bvh(empty_binary);
+  EXPECT_TRUE(empty_wide.empty());
+  TraversalStats stats;
+  EXPECT_TRUE(
+      ray_candidates(empty_wide, Ray::point_query({0, 0, 0}), stats).empty());
+
+  // n < arity, including the single-leaf tree (n <= leaf_size collapses the
+  // whole dataset into one leaf lane) and duplicate coordinates.
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u}) {
+    std::vector<Vec3> pts;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back(Vec3::xy(static_cast<float>(i % 3), 0.0f));  // dups
+    }
+    const auto bounds = sphere_bounds(pts, 0.5f);
+    const Bvh binary = build_bvh(bounds, {});
+    const WideBvh wide = collapse_bvh(binary);
+    ASSERT_EQ(wide.validate(bounds), "") << "n=" << n;
+    for (std::size_t q = 0; q < n; ++q) {
+      const Ray ray = Ray::point_query(pts[q]);
+      TraversalStats s1;
+      TraversalStats s2;
+      expect_candidate_contract(
+          ray_candidates(wide, ray, s1), ray_candidates(binary, ray, s2),
+          [&](std::uint32_t id) {
+            return geom::ray_intersects_aabb(ray, bounds[id]);
+          },
+          "edge case");
+    }
+  }
+}
+
+TEST(WideBvh, RefitTracksRadiusSweep) {
+  const auto dataset = data::taxi_gps(2000, 17);
+  BuildOptions opts;
+  opts.width = TraversalWidth::kWide;
+  SphereAccel accel(dataset.points, 0.2f, opts);
+  ASSERT_FALSE(accel.wide_bvh().empty());
+
+  for (const float radius : {0.4f, 0.1f, 0.25f}) {
+    accel.set_radius(radius);
+    const auto bounds = sphere_bounds(dataset.points, radius);
+    EXPECT_EQ(accel.wide_bvh().validate(bounds), "") << radius;
+    // The refit wide layout keeps the candidate contract against the refit
+    // binary tree it mirrors, and exact-filtered results match the brute
+    // oracle.
+    TraversalStats s1;
+    TraversalStats s2;
+    const float r2 = radius * radius;
+    for (std::size_t q = 0; q < dataset.points.size(); q += 97) {
+      const Ray ray = Ray::point_query(dataset.points[q]);
+      EXPECT_TRUE(is_subset(ray_candidates(accel.bvh(), ray, s2),
+                            ray_candidates(accel.wide_bvh(), ray, s1)))
+          << radius << " q=" << q;
+      std::vector<std::uint32_t> exact;
+      for (const auto id : ray_candidates(accel.wide_bvh(), ray, s1)) {
+        if (geom::distance_squared(dataset.points[q], dataset.points[id]) <=
+            r2) {
+          exact.push_back(id);
+        }
+      }
+      std::vector<std::uint32_t> oracle;
+      for (std::uint32_t j = 0; j < dataset.points.size(); ++j) {
+        if (geom::distance_squared(dataset.points[q], dataset.points[j]) <=
+            r2) {
+          oracle.push_back(j);
+        }
+      }
+      EXPECT_EQ(exact, oracle) << radius << " q=" << q;
+    }
+  }
+}
+
+TEST(WideBvh, WidthResolution) {
+  EXPECT_FALSE(use_wide_traversal(TraversalWidth::kBinary, 1u << 20));
+  EXPECT_TRUE(use_wide_traversal(TraversalWidth::kWide, 1));
+  EXPECT_FALSE(use_wide_traversal(TraversalWidth::kWide, 0));
+  EXPECT_FALSE(use_wide_traversal(TraversalWidth::kAuto,
+                                  kWideBvhMinPrims - 1));
+  EXPECT_TRUE(use_wide_traversal(TraversalWidth::kAuto, kWideBvhMinPrims));
+
+  EXPECT_STREQ(to_string(TraversalWidth::kAuto), "auto");
+  EXPECT_STREQ(to_string(TraversalWidth::kBinary), "binary");
+  EXPECT_STREQ(to_string(TraversalWidth::kWide), "wide");
+
+  // kAuto materializes the wide layout only past the threshold.
+  const auto small = data::taxi_gps(512, 19);
+  const index::PointBvhIndex small_idx(small.points, 0.3f);
+  EXPECT_TRUE(small_idx.wide_bvh().empty());
+  const auto large = data::taxi_gps(kWideBvhMinPrims, 19);
+  const index::PointBvhIndex large_idx(large.points, 0.3f);
+  EXPECT_FALSE(large_idx.wide_bvh().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Index-layer and clustering parity: wide and binary must agree on neighbor
+// SETS and on the final Clustering, for every BVH-backed backend, across
+// the standard degenerate datasets.
+// ---------------------------------------------------------------------------
+
+struct WidthCase {
+  const char* name;
+  std::vector<Vec3> points;
+  float eps;
+};
+
+std::vector<WidthCase> width_cases() {
+  std::vector<WidthCase> cases;
+  cases.push_back({"uniform", data::uniform_cube(1500, 20.0f, 3, 101).points,
+                   0.9f});
+  cases.push_back(
+      {"blobs", data::gaussian_blobs(1500, 3, 0.5f, 10.0f, 3, 102).points,
+       0.4f});
+  std::vector<Vec3> colinear;
+  for (int i = 0; i < 150; ++i) {
+    colinear.push_back(Vec3::xy(static_cast<float>(i) * 0.25f, 0.0f));
+  }
+  for (int d = 0; d < 30; ++d) {
+    colinear.push_back(Vec3::xy(7.5f, 0.0f));
+  }
+  cases.push_back({"colinear_dups", std::move(colinear), 0.6f});
+  std::vector<Vec3> dups(64, Vec3{1.0f, 2.0f, 3.0f});
+  cases.push_back({"all_duplicates", std::move(dups), 0.5f});
+  return cases;
+}
+
+std::unique_ptr<index::NeighborIndex> make_width_index(
+    std::span<const Vec3> points, float eps, index::IndexKind kind,
+    TraversalWidth width) {
+  index::IndexBuildOptions options;
+  options.build.width = width;
+  return index::make_index(points, eps, kind, options);
+}
+
+std::vector<std::uint32_t> neighbor_set(const index::NeighborIndex& idx,
+                                        const Vec3& center, float eps,
+                                        std::uint32_t self) {
+  std::vector<std::uint32_t> ids;
+  TraversalStats stats;
+  idx.query_sphere(center, eps, self,
+                   [&](std::uint32_t j) { ids.push_back(j); }, stats);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(WideBvhIndexParity, NeighborSetsMatchBinaryOnEveryBvhBackend) {
+  for (const auto& c : width_cases()) {
+    for (const index::IndexKind kind :
+         {index::IndexKind::kPointBvh, index::IndexKind::kBvhRt}) {
+      const auto binary =
+          make_width_index(c.points, c.eps, kind, TraversalWidth::kBinary);
+      const auto wide =
+          make_width_index(c.points, c.eps, kind, TraversalWidth::kWide);
+      for (std::uint32_t q = 0; q < c.points.size(); q += 17) {
+        EXPECT_EQ(neighbor_set(*wide, c.points[q], c.eps, q),
+                  neighbor_set(*binary, c.points[q], c.eps, q))
+            << c.name << " " << index::to_string(kind) << " q=" << q;
+      }
+      // query_count agrees too (including through the early-exit cap).
+      for (std::uint32_t q = 0; q < c.points.size(); q += 41) {
+        TraversalStats s1;
+        TraversalStats s2;
+        EXPECT_EQ(wide->query_count(c.points[q], c.eps, q, s1),
+                  binary->query_count(c.points[q], c.eps, q, s2))
+            << c.name << " " << index::to_string(kind);
+      }
+    }
+  }
+}
+
+TEST(WideBvhClusteringParity, EngineIdenticalAcrossWidths) {
+  const dbscan::Params params{0.6f, 5};
+  for (const auto& c : width_cases()) {
+    dbscan::Params p = params;
+    p.eps = c.eps;
+    for (const index::IndexKind kind :
+         {index::IndexKind::kPointBvh, index::IndexKind::kBvhRt}) {
+      const auto binary =
+          make_width_index(c.points, p.eps, kind, TraversalWidth::kBinary);
+      const auto wide =
+          make_width_index(c.points, p.eps, kind, TraversalWidth::kWide);
+      const auto run_b = dbscan::cluster_with_index(*binary, p);
+      const auto run_w = dbscan::cluster_with_index(*wide, p);
+      // Identical, not merely equivalent: the candidate sets match
+      // per-query, so the whole two-phase run replays bit-for-bit.
+      EXPECT_EQ(run_w.clustering.labels, run_b.clustering.labels)
+          << c.name << " " << index::to_string(kind);
+      EXPECT_EQ(run_w.clustering.is_core, run_b.clustering.is_core)
+          << c.name << " " << index::to_string(kind);
+      EXPECT_EQ(run_w.neighbor_counts, run_b.neighbor_counts)
+          << c.name << " " << index::to_string(kind);
+      testutil::expect_matches_reference(c.points, p, run_w.clustering,
+                                         c.name);
+    }
+  }
+}
+
+TEST(WideBvhClusteringParity, VariantsMatchReferenceWithForcedWide) {
+  const auto dataset = data::taxi_gps(2500, 61);
+  const dbscan::Params params{0.3f, 8};
+
+  // FDBSCAN over a forced-wide point BVH (with and without early exit).
+  for (const bool early_exit : {false, true}) {
+    dbscan::FdbscanOptions options;
+    options.build.width = TraversalWidth::kWide;
+    options.early_exit = early_exit;
+    const auto fd = dbscan::fdbscan(dataset.points, params, options);
+    testutil::expect_matches_reference(dataset.points, params, fd.clustering,
+                                       "fdbscan+wide");
+  }
+
+  // RT-DBSCAN over a forced-wide sphere scene, reordered and not.
+  for (const bool reorder : {false, true}) {
+    core::RtDbscanOptions options;
+    options.device.build.width = TraversalWidth::kWide;
+    options.reorder_queries = reorder;
+    const auto rt = core::rt_dbscan(dataset.points, params, options);
+    testutil::expect_matches_reference(dataset.points, params, rt.clustering,
+                                       "rt_dbscan+wide");
+  }
+
+  // Forced-binary and forced-wide RT runs are identical point for point.
+  core::RtDbscanOptions narrow;
+  narrow.device.build.width = TraversalWidth::kBinary;
+  core::RtDbscanOptions wide;
+  wide.device.build.width = TraversalWidth::kWide;
+  const auto rt_b = core::rt_dbscan(dataset.points, params, narrow);
+  const auto rt_w = core::rt_dbscan(dataset.points, params, wide);
+  EXPECT_EQ(rt_w.clustering.labels, rt_b.clustering.labels);
+  EXPECT_EQ(rt_w.neighbor_counts, rt_b.neighbor_counts);
+}
+
+}  // namespace
+}  // namespace rtd::rt
