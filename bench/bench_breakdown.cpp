@@ -128,19 +128,21 @@ int main(int argc, char** argv) {
   }
 
   // -------------------------------------------------------------------------
-  // Binary vs wide traversal sweep (PR 3): the two BVH-backed backends run
-  // the same engine over both layouts.  nodes/query shows the pop
-  // reduction the SoA kernel buys; isect/query shows the (bounded)
-  // candidate inflation of the coarser wide leaves.
+  // Traversal width sweep: the two BVH-backed backends run the same engine
+  // over all three layouts.  nodes/query shows the pop reduction the SoA
+  // kernels buy; isect/query shows the (bounded) candidate inflation of
+  // the coarser wide leaves (plus the conservative uint8 rounding for
+  // quantized).
   // -------------------------------------------------------------------------
-  std::printf("\n--- Binary vs wide BVH traversal (unified engine, n=%zu) "
-              "---\n", total_n);
+  std::printf("\n--- Binary vs wide vs quantized BVH traversal (unified "
+              "engine, n=%zu) ---\n", total_n);
   Table widths({"backend", "width", "build", "phase 1", "phase 2", "total",
                 "nodes/query", "isect/query"});
   for (const index::IndexKind kind :
        {index::IndexKind::kPointBvh, index::IndexKind::kBvhRt}) {
     for (const rt::TraversalWidth width :
-         {rt::TraversalWidth::kBinary, rt::TraversalWidth::kWide}) {
+         {rt::TraversalWidth::kBinary, rt::TraversalWidth::kWide,
+          rt::TraversalWidth::kWideQuantized}) {
       index::IndexBuildOptions build_options;
       build_options.build.width = width;
       double build_s = 0.0;

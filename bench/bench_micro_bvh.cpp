@@ -1,15 +1,20 @@
 // Substrate micro-benchmarks: BVH build and traversal throughput
 // (google-benchmark).  Characterizes the RT-core simulator itself,
-// including the binary-vs-wide traversal trade (PR 3): the *_Wide
-// benchmarks mirror their binary counterparts over the collapsed 8-ary
-// SoA layout, and the QuerySweep1M pair is the headline number recorded
-// in BENCH_PR3.json (scripts/bench_snapshot.sh).
+// including the binary-vs-wide-vs-quantized traversal trade: the *_Wide /
+// *_Quantized benchmarks mirror their binary counterparts over the
+// collapsed 8-ary SoA layouts, the QuerySweep1M trio is the sphere-mode
+// headline and the TriangleSweep trio the §VI-C triangle-mode headline
+// recorded in BENCH_PR4.json (scripts/bench_snapshot.sh).
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
 
 #include "common/rng.hpp"
 #include "data/generators.hpp"
 #include "geom/ray.hpp"
 #include "rt/bvh.hpp"
+#include "rt/tessellate.hpp"
 #include "rt/traversal.hpp"
 #include "rt/wide_bvh.hpp"
 
@@ -253,5 +258,124 @@ void BM_QuerySweep1M_Wide(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_QuerySweep1M_Wide)->Unit(benchmark::kMicrosecond);
+
+void BM_QuerySweep1M_Quantized(benchmark::State& state) {
+  const auto& dataset = uniform_1m();
+  static const rt::QuantizedWideBvh quant =
+      rt::quantize_bvh(rt::collapse_bvh(uniform_1m_bvh()));
+  rt::TraversalStats stats;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    rt::traverse(
+        quant, geom::Ray::point_query(dataset.points[q]),
+        [&](std::uint32_t) {
+          ++hits;
+          return rt::TraversalControl::kContinue;
+        },
+        stats);
+    benchmark::DoNotOptimize(hits);
+    q = (q + 1) % dataset.points.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuerySweep1M_Quantized)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// §VI-C triangle-mode sweeps: the same binary/wide/quantized trade over a
+// tessellated-sphere scene.  One iteration = one +z query ray through the
+// exact Moller-Trumbore filter (the AnyHit workload), cycling through the
+// data points.  Arg = TRIANGLE count: 10000 for the CI smoke pass,
+// 1000000 for the headline recorded in BENCH_PR4.json.
+// ---------------------------------------------------------------------------
+
+struct TriScene {
+  std::vector<geom::Vec3> points;
+  std::vector<geom::Triangle> triangles;
+  float tmax = 0.0f;
+  rt::Bvh bvh;
+  rt::WideBvh wide;
+  rt::QuantizedWideBvh quant;
+};
+
+const TriScene& tri_scene(std::size_t n_triangles) {
+  static std::map<std::size_t, TriScene> cache;
+  const auto it = cache.find(n_triangles);
+  if (it != cache.end()) return it->second;
+  TriScene& scene = cache[n_triangles];
+  // Same workload shape as the sphere-mode QuerySweep: a uniform cube at
+  // ~1 point/unit^3 with a unit-ish eps, so queries surface a handful of
+  // neighbors and the sweep measures TRAVERSAL, not the (width-invariant)
+  // pile of exact triangle tests a dense dataset would add on top.
+  constexpr float kEps = 1.0f;
+  constexpr int kSubdiv = 0;  // 20 faces/sphere
+  const auto n_points = n_triangles / 20;
+  const float extent = std::cbrt(static_cast<float>(n_points));
+  scene.points = data::uniform_cube(n_points, extent, 3, 2024).points;
+  auto mesh = rt::tessellate_spheres(scene.points, kEps, kSubdiv);
+  scene.tmax = 1.01f * (kEps + mesh.scale);
+  scene.triangles = std::move(mesh.triangles);
+  std::vector<geom::Aabb> bounds;
+  bounds.reserve(scene.triangles.size());
+  for (const auto& t : scene.triangles) {
+    bounds.push_back(t.bounds());
+  }
+  scene.bvh = rt::build_bvh(bounds, {});
+  scene.wide = rt::collapse_bvh(scene.bvh);
+  scene.quant = rt::quantize_bvh(scene.wide);
+  return scene;
+}
+
+template <typename TreeT>
+void triangle_sweep(benchmark::State& state, const TriScene& scene,
+                    const TreeT& tree) {
+  rt::TraversalStats stats;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    const geom::Ray ray{scene.points[q], {0.0f, 0.0f, 1.0f}, 0.0f,
+                        scene.tmax};
+    rt::traverse(
+        tree, ray,
+        [&](std::uint32_t prim) {
+          // The "hardware" exact triangle test — the §VI-C AnyHit workload.
+          if (geom::ray_intersects_triangle(ray, scene.triangles[prim])) {
+            ++hits;
+          }
+          return rt::TraversalControl::kContinue;
+        },
+        stats);
+    benchmark::DoNotOptimize(hits);
+    q = (q + 1) % scene.points.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TriangleSweep_Binary(benchmark::State& state) {
+  const auto& scene = tri_scene(static_cast<std::size_t>(state.range(0)));
+  triangle_sweep(state, scene, scene.bvh);
+}
+BENCHMARK(BM_TriangleSweep_Binary)
+    ->Arg(10000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TriangleSweep_Wide(benchmark::State& state) {
+  const auto& scene = tri_scene(static_cast<std::size_t>(state.range(0)));
+  triangle_sweep(state, scene, scene.wide);
+}
+BENCHMARK(BM_TriangleSweep_Wide)
+    ->Arg(10000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TriangleSweep_Quantized(benchmark::State& state) {
+  const auto& scene = tri_scene(static_cast<std::size_t>(state.range(0)));
+  triangle_sweep(state, scene, scene.quant);
+}
+BENCHMARK(BM_TriangleSweep_Quantized)
+    ->Arg(10000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -4,7 +4,14 @@
 // (triangles multiply the primitive count and add AnyHit invocations).
 //
 //   ./bench_triangle_mode [--scale F] [--reps N]
+//                         [--width auto|binary|wide|quantized]
+//
+// --width forces one traversal layout for every run (default auto); the
+// second table sweeps triangle mode across all three layouts regardless,
+// so the §VI-C experiment reports the wide-kernel trade alongside the
+// sphere-vs-triangle one.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
@@ -24,6 +31,13 @@ int main(int argc, char** argv) {
   const float eps = static_cast<float>(flags.get_double("eps", 0.3));
   const auto min_pts =
       static_cast<std::uint32_t>(flags.get_int("minpts", 20));
+  rt::TraversalWidth forced_width = rt::TraversalWidth::kAuto;
+  if (!rt::parse_traversal_width(
+          flags.get("width", "auto").c_str(), forced_width)) {
+    std::fprintf(stderr, "unknown --width '%s' (auto|binary|wide|"
+                         "quantized)\n", flags.get("width", "").c_str());
+    return EXIT_FAILURE;
+  }
   const auto dataset = data::taxi_gps(n, 2023);
   const dbscan::Params params{eps, min_pts};
 
@@ -31,9 +45,11 @@ int main(int argc, char** argv) {
                "anyhit calls"});
   const rt::CostModel model;
 
+  core::RtDbscanOptions sphere_opts;
+  sphere_opts.device.build.width = forced_width;
   core::RtDbscanResult sphere_result;
   const double sphere_cpu = bench::time_median(cfg.reps, [&] {
-    sphere_result = core::rt_dbscan(dataset.points, params);
+    sphere_result = core::rt_dbscan(dataset.points, params, sphere_opts);
   });
   const double sphere_dev =
       bench::modeled_rt_seconds(sphere_result, dataset.size(), model);
@@ -44,6 +60,7 @@ int main(int argc, char** argv) {
     core::RtDbscanOptions opts;
     opts.geometry = core::GeometryMode::kTriangles;
     opts.triangle_subdivisions = subdiv;
+    opts.device.build.width = forced_width;
     core::RtDbscanResult tri_result;
     const double tri_cpu = bench::time_median(cfg.reps, [&] {
       tri_result = core::rt_dbscan(dataset.points, params, opts);
@@ -76,5 +93,43 @@ int main(int argc, char** argv) {
   }
   std::printf("\npaper: triangle mode 2x-5x slower; slowdown column should "
               "land in/near that band.\n");
+
+  // -------------------------------------------------------------------------
+  // Triangle-mode traversal width sweep (PR 4): the §VI-C scene over the
+  // binary, wide (8-ary SoA) and quantized (128-byte node) kernels.  Same
+  // clustering on all three (verified); nodes/query shows the pop
+  // reduction the wide layouts buy on the triangle-inflated tree.
+  // -------------------------------------------------------------------------
+  std::printf("\n--- triangle-mode traversal width sweep (icosphere s=1, "
+              "%zu tris) ---\n", dataset.size() * 80);
+  Table wsweep({"width", "cpu time", "speedup", "nodes/query",
+                "isect/query"});
+  double binary_cpu = 0.0;
+  for (const rt::TraversalWidth width :
+       {rt::TraversalWidth::kBinary, rt::TraversalWidth::kWide,
+        rt::TraversalWidth::kWideQuantized}) {
+    core::RtDbscanOptions opts;
+    opts.geometry = core::GeometryMode::kTriangles;
+    opts.triangle_subdivisions = 1;
+    opts.device.build.width = width;
+    core::RtDbscanResult r;
+    const double cpu = bench::time_median(cfg.reps, [&] {
+      r = core::rt_dbscan(dataset.points, params, opts);
+    });
+    bench::verify(dataset.points, params, sphere_result.clustering,
+                  r.clustering, rt::to_string(width));
+    if (width == rt::TraversalWidth::kBinary) binary_cpu = cpu;
+    wsweep.add_row(
+        {rt::to_string(width), Table::seconds(cpu),
+         Table::speedup(binary_cpu / cpu),
+         Table::num(r.phase1.nodes_per_ray() + r.phase2.nodes_per_ray(), 1),
+         Table::num(r.phase1.isect_per_ray() + r.phase2.isect_per_ray(),
+                    1)});
+  }
+  if (cfg.csv) {
+    wsweep.print_csv();
+  } else {
+    wsweep.print();
+  }
   return 0;
 }

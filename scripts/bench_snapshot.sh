@@ -2,17 +2,23 @@
 # Emit a machine-readable perf snapshot of the BVH traversal hot path.
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [output.json]
-#   scripts/bench_snapshot.sh build/release BENCH_PR3.json
+#   scripts/bench_snapshot.sh build/release BENCH_PR4.json
 #
-# Runs the binary-vs-wide micro sweeps of bench_micro_bvh (google-benchmark
-# JSON) and the width sweep of bench_breakdown (CSV), then merges both into
-# one JSON document with the headline binary/wide speedup computed from the
-# 1M-point uniform query sweep.  Fails if the wide walk regresses below the
-# recorded floor, so the perf harness doubles as a regression gate.
+# Runs the binary/wide/quantized micro sweeps of bench_micro_bvh
+# (google-benchmark JSON) for BOTH geometry modes — the sphere-mode
+# QuerySweep1M trio and the §VI-C triangle-mode TriangleSweep/1000000 trio
+# — plus the width sweep of bench_breakdown (CSV), then merges everything
+# into one JSON document.  Fails if either headline regresses below its
+# recorded floor, so the perf harness doubles as a regression gate:
+#   * sphere mode: wide must stay >= 1.5x the binary walk (PR 3 floor);
+#   * triangle mode: wide must BEAT the binary walk (>= 1.10x; the margin
+#     is structurally smaller than sphere mode's because the exact
+#     Moller-Trumbore tests are width-invariant work on top of the
+#     traversal — see docs/BENCHMARKS.md).
 set -euo pipefail
 
 build_dir="${1:-build/release}"
-out_file="${2:-BENCH_PR3.json}"
+out_file="${2:-BENCH_PR4.json}"
 micro="${build_dir}/bench/bench_micro_bvh"
 breakdown="${build_dir}/bench/bench_breakdown"
 
@@ -26,10 +32,11 @@ fi
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "${tmp_dir}"' EXIT
 
-echo "== bench_micro_bvh (binary vs wide sweeps)"
+echo "== bench_micro_bvh (binary/wide/quantized sweeps, both geometries)"
 "${micro}" \
-  --benchmark_filter='QuerySweep1M|PointQueryTraversal|OverlapQueryTraversal|CollapseWide|BuildLbvh' \
+  --benchmark_filter='QuerySweep1M|TriangleSweep.*/1000000$|PointQueryTraversal|OverlapQueryTraversal|CollapseWide|BuildLbvh' \
   --benchmark_repetitions="${BENCH_REPS:-3}" \
+  --benchmark_min_time="${BENCH_MIN_TIME:-0.25}" \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json >"${tmp_dir}/micro.json"
 
@@ -53,19 +60,44 @@ def median_time(name):
             return b["real_time"]  # in the benchmark's time_unit (us here)
     return None
 
-binary = median_time("BM_QuerySweep1M_Binary")
-wide = median_time("BM_QuerySweep1M_Wide")
-speedup = (binary / wide) if (binary and wide) else None
+def ratio(a, b):
+    return (a / b) if (a and b) else None
+
+sphere = {w: median_time(f"BM_QuerySweep1M_{w}")
+          for w in ("Binary", "Wide", "Quantized")}
+tri = {w: median_time(f"BM_TriangleSweep_{w}/1000000")
+       for w in ("Binary", "Wide", "Quantized")}
+
+sphere_wide = ratio(sphere["Binary"], sphere["Wide"])
+sphere_quant = ratio(sphere["Binary"], sphere["Quantized"])
+tri_wide = ratio(tri["Binary"], tri["Wide"])
+tri_quant = ratio(tri["Binary"], tri["Quantized"])
 
 snapshot = {
-    "pr": 3,
+    "pr": 4,
     "headline": {
-        "benchmark": "BM_QuerySweep1M (1M-point uniform cube, eps-sphere "
-                     "point queries, single core)",
-        "binary_us_per_query": binary,
-        "wide_us_per_query": wide,
-        "wide_speedup": speedup,
-        "target": ">= 1.5x",
+        "sphere_mode": {
+            "benchmark": "BM_QuerySweep1M (1M-point uniform cube, "
+                         "eps-sphere point queries, single core)",
+            "binary_us_per_query": sphere["Binary"],
+            "wide_us_per_query": sphere["Wide"],
+            "quantized_us_per_query": sphere["Quantized"],
+            "wide_speedup": sphere_wide,
+            "quantized_speedup": sphere_quant,
+            "target": "wide >= 1.5x",
+        },
+        "triangle_mode": {
+            "benchmark": "BM_TriangleSweep/1000000 (50K tessellated "
+                         "eps-spheres = 1M triangles, uniform cube, +z "
+                         "AnyHit query rays, single core)",
+            "binary_us_per_query": tri["Binary"],
+            "wide_us_per_query": tri["Wide"],
+            "quantized_us_per_query": tri["Quantized"],
+            "wide_speedup": tri_wide,
+            "quantized_speedup": tri_quant,
+            "target": "wide >= 1.10x (exact triangle tests are "
+                      "width-invariant; see docs/BENCHMARKS.md)",
+        },
     },
     "context": micro.get("context", {}),
     "micro_benchmarks": micro["benchmarks"],
@@ -75,14 +107,22 @@ with open(out_path, "w") as f:
     json.dump(snapshot, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path}")
-if speedup is None:
+if None in (sphere_wide, sphere_quant, tri_wide, tri_quant):
     # Fail closed: a renamed benchmark or filter drift must not silently
     # disable the regression gate.
-    print("FAIL: headline QuerySweep1M medians not found in benchmark "
-          "output", file=sys.stderr)
+    print("FAIL: headline sweep medians not found in benchmark output",
+          file=sys.stderr)
     sys.exit(1)
-print(f"headline: wide is {speedup:.2f}x the binary walk")
-if speedup < 1.5:
-    print("FAIL: wide speedup below the 1.5x floor", file=sys.stderr)
+print(f"headline: sphere mode wide {sphere_wide:.2f}x / quantized "
+      f"{sphere_quant:.2f}x the binary walk")
+print(f"headline: triangle mode wide {tri_wide:.2f}x / quantized "
+      f"{tri_quant:.2f}x the binary walk")
+if sphere_wide < 1.5:
+    print("FAIL: sphere-mode wide speedup below the 1.5x floor",
+          file=sys.stderr)
+    sys.exit(1)
+if tri_wide < 1.10:
+    print("FAIL: triangle-mode wide walk regressed against the binary walk "
+          "(floor 1.10x)", file=sys.stderr)
     sys.exit(1)
 PYEOF

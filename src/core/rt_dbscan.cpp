@@ -10,7 +10,6 @@
 #include "dbscan/engine.hpp"
 #include "dsu/atomic_disjoint_set.hpp"
 #include "index/bvh_rt_index.hpp"
-#include "rt/tessellate.hpp"
 
 namespace rtd::core {
 
@@ -248,11 +247,10 @@ RtDbscanResult rt_dbscan(std::span<const Vec3> points, const Params& params,
     result.accel_build = accel.build_stats();
     result.clustering.timings.index_build_seconds = build_timer.seconds();
 
-    const float inradius = rt::insphere_radius(
-        rt::unit_icosphere(options.triangle_subdivisions));
-    const float scale = params.eps / inradius;  // circumradius of the mesh
+    // tmax must cover the exit through the circumscribed shell: the mesh
+    // vertex scale is the accel's own (radius / inradius).
     const TriangleQuery query{accel, points, params.eps_squared(),
-                              1.01f * (params.eps + scale)};
+                              1.01f * (params.eps + accel.vertex_scale())};
 
     result.phase1 = phase1_triangles(query, result.neighbor_counts,
                                      options.device.threads);
@@ -281,12 +279,18 @@ struct RtDbscanRunner::Impl {
   std::vector<Vec3> points;
   float eps;
   RtDbscanOptions options;
-  std::optional<index::BvhRtIndex> index;
+  std::optional<index::BvhRtIndex> index;       ///< kSpheres sessions
+  std::optional<rt::TriangleAccel> tri_accel;   ///< kTriangles sessions
   std::vector<std::uint32_t> order;
   double accel_build_seconds = 0.0;
   std::vector<std::uint32_t> counts;
   rt::LaunchStats phase1_stats;
   bool counts_cached = false;
+
+  [[nodiscard]] TriangleQuery make_triangle_query() const {
+    return TriangleQuery{*tri_accel, points, eps * eps,
+                         1.01f * (eps + tri_accel->vertex_scale())};
+  }
 };
 
 RtDbscanRunner::RtDbscanRunner(std::vector<Vec3> points, float eps,
@@ -295,19 +299,24 @@ RtDbscanRunner::RtDbscanRunner(std::vector<Vec3> points, float eps,
   if (eps <= 0.0f) {
     throw std::invalid_argument("RtDbscanRunner: eps must be positive");
   }
-  if (options.geometry != GeometryMode::kSpheres) {
-    throw std::invalid_argument(
-        "RtDbscanRunner: cached re-runs support sphere geometry only");
-  }
   dbscan::require_finite(points);
   impl_->points = std::move(points);
   impl_->eps = eps;
   impl_->options = options;
 
   Timer build_timer;
-  impl_->index.emplace(impl_->points, eps, options.device);
-  impl_->order =
-      dbscan::query_launch_order(impl_->points, options.reorder_queries);
+  if (options.geometry == GeometryMode::kSpheres) {
+    impl_->index.emplace(impl_->points, eps, options.device);
+    impl_->order =
+        dbscan::query_launch_order(impl_->points, options.reorder_queries);
+  } else {
+    const rt::Context ctx(options.device);
+    impl_->tri_accel.emplace(ctx.build_triangles(
+        impl_->points, eps, options.triangle_subdivisions));
+    // The triangle phases launch in input order (reorder_queries is a
+    // sphere-pipeline scheduling knob, ignored by the one-shot triangle
+    // path too) — don't compute an order nobody reads.
+  }
   impl_->accel_build_seconds = build_timer.seconds();
 }
 
@@ -322,7 +331,13 @@ void RtDbscanRunner::set_eps(float eps) {
   }
   if (eps == impl_->eps) return;
   Timer refit_timer;
-  impl_->index->set_radius(eps);
+  if (impl_->index.has_value()) {
+    impl_->index->set_radius(eps);
+  } else {
+    // §VI-C triangle mode: rescale the tessellation in place and refit —
+    // an accel update, not the retessellate+rebuild ε sweeps used to pay.
+    impl_->tri_accel->set_radius(eps);
+  }
   impl_->accel_build_seconds = refit_timer.seconds();
   impl_->eps = eps;
   impl_->counts_cached = false;
@@ -338,8 +353,10 @@ RtDbscanResult RtDbscanRunner::run(std::uint32_t min_pts) {
     throw std::invalid_argument("RtDbscanRunner: min_pts must be >= 1");
   }
   const std::size_t n = impl_->points.size();
+  const bool spheres = impl_->index.has_value();
   RtDbscanResult result;
-  result.accel_build = impl_->index->accel().build_stats();
+  result.accel_build = spheres ? impl_->index->accel().build_stats()
+                               : impl_->tri_accel->build_stats();
   result.clustering.labels.assign(n, kNoiseLabel);
   result.clustering.is_core.assign(n, 0);
   if (n == 0) return result;
@@ -347,9 +364,14 @@ RtDbscanResult RtDbscanRunner::run(std::uint32_t min_pts) {
   Timer total;
   const Params params{impl_->eps, min_pts};
   if (!impl_->counts_cached) {
-    impl_->phase1_stats = dbscan::index_phase1(
-        *impl_->index, params, impl_->order, /*early_exit=*/false,
-        impl_->options.device.threads, impl_->counts);
+    impl_->phase1_stats =
+        spheres ? dbscan::index_phase1(*impl_->index, params, impl_->order,
+                                       /*early_exit=*/false,
+                                       impl_->options.device.threads,
+                                       impl_->counts)
+                : phase1_triangles(impl_->make_triangle_query(),
+                                   impl_->counts,
+                                   impl_->options.device.threads);
     impl_->counts_cached = true;
     result.phase1 = impl_->phase1_stats;
     result.clustering.timings.index_build_seconds =
@@ -363,9 +385,13 @@ RtDbscanResult RtDbscanRunner::run(std::uint32_t min_pts) {
       params, impl_->counts, result,
       [&](std::span<const std::uint8_t> is_core, dsu::AtomicDisjointSet& dsu,
           std::span<std::atomic<std::uint8_t>> claimed) {
-        return dbscan::index_phase2(*impl_->index, impl_->eps, impl_->order,
-                                    is_core, dsu, claimed,
-                                    impl_->options.device.threads);
+        if (spheres) {
+          return dbscan::index_phase2(*impl_->index, impl_->eps,
+                                      impl_->order, is_core, dsu, claimed,
+                                      impl_->options.device.threads);
+        }
+        return phase2_triangles(impl_->make_triangle_query(), is_core, dsu,
+                                claimed, impl_->options.device.threads);
       });
   result.clustering.timings.cluster_phase_seconds = result.phase2.seconds;
   result.clustering.timings.total_seconds = total.seconds();

@@ -70,7 +70,10 @@ RtDbscanResult rt_dbscan(std::span<const geom::Vec3> points,
 ///
 /// The acceleration structure is built once per ε; neighbor counts are
 /// computed on the first run and re-used for any later minPts, so repeated
-/// runs pay only the cluster-formation phase.
+/// runs pay only the cluster-formation phase.  Both geometry modes are
+/// supported: sphere sessions refit the ε-sphere scene on set_eps(), and
+/// triangle (§VI-C) sessions rescale the tessellation in place and refit
+/// (TriangleAccel::set_radius) instead of retessellating and rebuilding.
 class RtDbscanRunner {
  public:
   RtDbscanRunner(std::vector<geom::Vec3> points, float eps,
@@ -84,9 +87,10 @@ class RtDbscanRunner {
   RtDbscanResult run(std::uint32_t min_pts);
 
   /// Change ε for subsequent runs.  The acceleration structure is REFIT in
-  /// place (the sphere BVH topology depends only on the centers, so no
-  /// rebuild is needed — 5-10x cheaper); cached neighbor counts are
-  /// invalidated, so the next run() recomputes phase 1.
+  /// place (sphere mode: the BVH topology depends only on the centers;
+  /// triangle mode: vertices rescale about their owning center, same
+  /// topology — no rebuild either way, 5-10x cheaper); cached neighbor
+  /// counts are invalidated, so the next run() recomputes phase 1.
   void set_eps(float eps);
 
   /// True once neighbor counts are cached (after the first run()).

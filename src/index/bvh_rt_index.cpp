@@ -61,7 +61,7 @@ void BvhRtIndex::query_box(const geom::Aabb& box, NeighborVisitor visit,
   // surfaces a superset; the exact point-in-box filter runs here.
   const auto& centers = accel_.centers();
   rt::traverse_overlap(
-      accel_.bvh(), accel_.wide_bvh(), box,
+      accel_.bvh(), accel_.wide_bvh(), accel_.quantized_bvh(), box,
       [&](std::uint32_t prim) {
         ++stats.isect_calls;
         if (box.contains(centers[prim])) visit(prim);

@@ -15,15 +15,14 @@ PointBvhIndex::PointBvhIndex(std::span<const geom::Vec3> points, float eps,
     bounds[i] = geom::Aabb::of_point(points_[i]);
   });
   bvh_ = rt::build_bvh(bounds, build);
-  if (rt::use_wide_traversal(build.width, points.size())) {
-    wide_ = rt::collapse_bvh(bvh_);
-  }
+  rt::derive_wide_layouts(bvh_, build, points.size(), wide_, quantized_);
 }
 
-// Queries dispatch through rt::traverse_overlap(bvh, wide, ...): the wide
-// SoA kernel when the collapse ran, the binary node walk otherwise.  The
-// wide walk surfaces a conservative candidate superset; the exact distance
-// filter in every caller makes results identical (test-enforced).
+// Queries dispatch through rt::traverse_overlap(bvh, wide, quantized, ...):
+// the wide or quantized SoA kernel when a collapse ran, the binary node
+// walk otherwise.  The wide walks surface a conservative candidate
+// superset; the exact distance filter in every caller makes results
+// identical (test-enforced).
 
 void PointBvhIndex::query_sphere(const geom::Vec3& center, float eps,
                                  std::uint32_t self, NeighborVisitor visit,
@@ -31,7 +30,7 @@ void PointBvhIndex::query_sphere(const geom::Vec3& center, float eps,
   const geom::Aabb query = geom::Aabb::of_sphere(center, eps);
   const float eps2 = eps * eps;
   rt::traverse_overlap(
-      bvh_, wide_, query,
+      bvh_, wide_, quantized_, query,
       [&](std::uint32_t j) {
         ++stats.isect_calls;
         if (j != self &&
@@ -55,7 +54,7 @@ std::uint32_t PointBvhIndex::query_count(const geom::Vec3& center, float eps,
     return 0;
   }
   rt::traverse_overlap(
-      bvh_, wide_, query,
+      bvh_, wide_, quantized_, query,
       [&](std::uint32_t j) {
         ++stats.isect_calls;
         if (j != self &&
@@ -71,7 +70,7 @@ std::uint32_t PointBvhIndex::query_count(const geom::Vec3& center, float eps,
 void PointBvhIndex::query_box(const geom::Aabb& box, NeighborVisitor visit,
                               rt::TraversalStats& stats) const {
   rt::traverse_overlap(
-      bvh_, wide_, box,
+      bvh_, wide_, quantized_, box,
       [&](std::uint32_t j) {
         ++stats.isect_calls;
         if (box.contains(points_[j])) visit(j);

@@ -42,15 +42,20 @@ class PointBvhIndex final : public NeighborIndex {
 
   /// The underlying tree (build statistics, ablation benches).
   [[nodiscard]] const rt::Bvh& bvh() const { return bvh_; }
-  /// The collapsed wide layout; empty when queries walk the binary tree
-  /// (rt::BuildOptions::width, rt::use_wide_traversal).
+  /// The collapsed wide layout; empty when queries walk the binary tree or
+  /// the quantized layout (rt::BuildOptions::width, rt::use_wide_traversal).
   [[nodiscard]] const rt::WideBvh& wide_bvh() const { return wide_; }
+  /// The quantized layout; empty unless width == kWideQuantized.
+  [[nodiscard]] const rt::QuantizedWideBvh& quantized_bvh() const {
+    return quantized_;
+  }
 
  private:
   std::span<const geom::Vec3> points_;
   float eps_;
   rt::Bvh bvh_;
   rt::WideBvh wide_;  ///< collapsed layout; empty when traversal is binary
+  rt::QuantizedWideBvh quantized_;  ///< kWideQuantized only
 };
 
 }  // namespace rtd::index

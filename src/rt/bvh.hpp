@@ -28,13 +28,27 @@ const char* to_string(BuildAlgorithm algo);
 /// kBinary walks the 2-ary node tree below directly; kWide collapses it
 /// into the 8-ary structure-of-arrays layout of rt/wide_bvh.hpp, whose
 /// one-node-tests-8-children kernel is the fast path on large trees.
-/// kAuto picks wide above a measured primitive-count threshold
-/// (rt::kWideBvhMinPrims).  This is a layout choice of the traversal
-/// *consumers* (SphereAccel, index::PointBvhIndex) — build_bvh() always
-/// produces the binary tree; the wide layout is derived from it.
-enum class TraversalWidth : std::uint8_t { kAuto = 0, kBinary, kWide };
+/// kWideQuantized further compresses the wide node to 128 bytes by
+/// storing child bounds as uint8 offsets against a per-node anchor/scale,
+/// conservatively rounded outward (candidate supersets stay conservative,
+/// exact filters unchanged).  kAuto picks plain wide above a measured
+/// primitive-count threshold (rt::kWideBvhMinPrims); the quantized layout
+/// is an explicit opt-in.  This is a layout choice of the traversal
+/// *consumers* (SphereAccel, TriangleAccel, index::PointBvhIndex) —
+/// build_bvh() always produces the binary tree; the wide layouts are
+/// derived from it.
+enum class TraversalWidth : std::uint8_t {
+  kAuto = 0,
+  kBinary,
+  kWide,
+  kWideQuantized,
+};
 
 const char* to_string(TraversalWidth width);
+
+/// Parse "auto" / "binary" / "wide" / "quantized" (bench/CLI width flags).
+/// Returns false and leaves `out` untouched on an unknown name.
+bool parse_traversal_width(const char* name, TraversalWidth& out);
 
 /// One BVH node, 32 bytes of bounds + 8 bytes of topology.
 ///

@@ -46,14 +46,13 @@ class Context {
     return SphereAccel(std::move(centers), radius, options_.build);
   }
 
-  /// Build a triangle GAS from tessellated spheres (§VI-C mode).
+  /// Build a triangle GAS from tessellated spheres (§VI-C mode).  Uses the
+  /// tessellating constructor, so the returned accel supports set_radius()
+  /// ε-sweep refits.
   [[nodiscard]] TriangleAccel build_triangles(
       std::span<const geom::Vec3> centers, float radius,
       int subdivisions) const {
-    TessellatedSpheres mesh = tessellate_spheres(centers, radius,
-                                                 subdivisions);
-    return TriangleAccel(std::move(mesh.triangles), std::move(mesh.owners),
-                         options_.build);
+    return TriangleAccel(centers, radius, subdivisions, options_.build);
   }
 
   /// Launch `ray_count` parallel RayGen program invocations.

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/parallel.hpp"
+#include "rt/tessellate.hpp"
 
 namespace rtd::rt {
 
@@ -17,9 +18,7 @@ SphereAccel::SphereAccel(std::vector<geom::Vec3> centers, float radius,
     bounds[i] = geom::Aabb::of_sphere(centers_[i], radius_);
   });
   bvh_ = build_bvh(bounds, options);
-  if (use_wide_traversal(options.width, centers_.size())) {
-    wide_ = collapse_bvh(bvh_);
-  }
+  derive_wide_layouts(bvh_, options, centers_.size(), wide_, quantized_);
 }
 
 void SphereAccel::set_radius(float radius) {
@@ -32,9 +31,10 @@ void SphereAccel::set_radius(float radius) {
     bounds[i] = geom::Aabb::of_sphere(centers_[i], radius_);
   });
   bvh_.refit(bounds);
-  // The wide layout shares the binary topology, so a refit replays in place
-  // (no re-collapse).
+  // The wide layouts share the binary topology, so a refit replays in place
+  // (no re-collapse; the quantized grid re-derives its anchor/scale).
   if (!wide_.empty()) wide_.refit_from(bvh_);
+  if (!quantized_.empty()) quantized_.refit_from(bvh_);
 }
 
 TriangleAccel::TriangleAccel(std::vector<geom::Triangle> triangles,
@@ -45,11 +45,63 @@ TriangleAccel::TriangleAccel(std::vector<geom::Triangle> triangles,
     throw std::invalid_argument(
         "TriangleAccel: one owner id required per triangle");
   }
+  build(options);
+}
+
+TriangleAccel::TriangleAccel(std::span<const geom::Vec3> centers,
+                             float radius, int subdivisions,
+                             const BuildOptions& options)
+    : centers_(centers.begin(), centers.end()),
+      radius_(radius),
+      rescalable_(true) {
+  TessellatedSpheres mesh = tessellate_spheres(centers, radius, subdivisions);
+  triangles_ = std::move(mesh.triangles);
+  owners_ = std::move(mesh.owners);
+  scale_ = mesh.scale;
+  build(options);
+}
+
+void TriangleAccel::build(const BuildOptions& options) {
   std::vector<geom::Aabb> bounds(triangles_.size());
   parallel_for(triangles_.size(), [&](std::size_t i) {
     bounds[i] = triangles_[i].bounds();
   });
   bvh_ = build_bvh(bounds, options);
+  derive_wide_layouts(bvh_, options, triangles_.size(), wide_, quantized_);
+}
+
+void TriangleAccel::set_radius(float radius) {
+  if (!rescalable()) {
+    throw std::logic_error(
+        "TriangleAccel: set_radius requires the tessellating constructor "
+        "(arbitrary triangle sets have no centers to rescale about)");
+  }
+  if (radius <= 0.0f) {
+    throw std::invalid_argument("TriangleAccel: radius must be positive");
+  }
+  if (radius == radius_) return;
+  // The tessellation is linear in the radius: every vertex sits at
+  // center + unit_vertex * scale, so scaling about the owning center moves
+  // it to the new radius exactly — same vertices tessellate_spheres() would
+  // emit, no retessellation.  Topology depends only on the centers and the
+  // subdivision level, so the BVH refits in place.
+  const float factor = radius / radius_;
+  parallel_for(triangles_.size(), [&](std::size_t i) {
+    const geom::Vec3 c = centers_[owners_[i]];
+    geom::Triangle& t = triangles_[i];
+    t.a = c + (t.a - c) * factor;
+    t.b = c + (t.b - c) * factor;
+    t.c = c + (t.c - c) * factor;
+  });
+  radius_ = radius;
+  scale_ *= factor;
+  std::vector<geom::Aabb> bounds(triangles_.size());
+  parallel_for(triangles_.size(), [&](std::size_t i) {
+    bounds[i] = triangles_[i].bounds();
+  });
+  bvh_.refit(bounds);
+  if (!wide_.empty()) wide_.refit_from(bvh_);
+  if (!quantized_.empty()) quantized_.refit_from(bvh_);
 }
 
 }  // namespace rtd::rt

@@ -40,21 +40,26 @@ class SphereAccel {
   }
   [[nodiscard]] const Bvh& bvh() const { return bvh_; }
   [[nodiscard]] const BuildStats& build_stats() const { return bvh_.stats; }
-  /// The collapsed wide layout; empty when the build resolved to binary
-  /// traversal (BuildOptions::width, rt::use_wide_traversal).
+  /// The collapsed wide layout; empty when the build resolved to binary or
+  /// quantized traversal (BuildOptions::width, rt::use_wide_traversal).
   [[nodiscard]] const WideBvh& wide_bvh() const { return wide_; }
+  /// The quantized wide layout; empty unless BuildOptions::width requested
+  /// TraversalWidth::kWideQuantized (and the collapse succeeded).
+  [[nodiscard]] const QuantizedWideBvh& quantized_bvh() const {
+    return quantized_;
+  }
 
   /// Trace one ray.  `isect_program(prim_id)` is invoked for every candidate
   /// sphere whose AABB the ray hits; per OptiX semantics it cannot terminate
   /// traversal.  The program is responsible for the exact distance test —
-  /// helpers below provide it.  The walk runs over the wide layout when one
-  /// was built — a conservative candidate superset that the exact test
-  /// filters identically (test-enforced).
+  /// helpers below provide it.  The walk runs over the wide or quantized
+  /// layout when one was built — a conservative candidate superset that the
+  /// exact test filters identically (test-enforced).
   template <typename IsectProgram>
   void trace(const geom::Ray& ray, IsectProgram&& isect_program,
              TraversalStats& stats) const {
     traverse(
-        bvh_, wide_, ray,
+        bvh_, wide_, quantized_, ray,
         [&](std::uint32_t prim) {
           ++stats.isect_calls;
           isect_program(prim);
@@ -81,23 +86,67 @@ class SphereAccel {
   float radius_;
   Bvh bvh_;
   WideBvh wide_;  ///< collapsed layout; empty when traversal is binary
+  QuantizedWideBvh quantized_;  ///< 128-byte-node layout; kWideQuantized only
 };
 
 /// Acceleration structure over triangles, each owned by a data point
 /// (tessellated sphere).  The primitive test runs "in hardware"
 /// (Moller-Trumbore here); accepted hits are delivered to the user AnyHit
 /// program, which is exactly the costly path the paper measured (§VI-C).
+///
+/// Like SphereAccel, the triangle scene traverses the wide (8-ary SoA) or
+/// quantized layout when BuildOptions::width selects one — the ray-vs-8-slab
+/// kernel feeds the same exact ray-triangle filter, so results are
+/// identical and owner dedup in the AnyHit program is unchanged.
 class TriangleAccel {
  public:
+  /// Generic build over arbitrary triangles.  set_radius() is unavailable
+  /// through this constructor (the accel does not know the tessellation
+  /// centers) — use the tessellating constructor below for ε sweeps.
   TriangleAccel(std::vector<geom::Triangle> triangles,
                 std::vector<std::uint32_t> owners,
                 const BuildOptions& options = {});
+
+  /// Tessellate one ε-sphere of `radius` per center (rt/tessellate.hpp) and
+  /// build over the result.  Retains the centers and scale, which enables
+  /// set_radius(): the ε-sweep refit path.
+  TriangleAccel(std::span<const geom::Vec3> centers, float radius,
+                int subdivisions, const BuildOptions& options = {});
 
   [[nodiscard]] std::size_t triangle_count() const {
     return triangles_.size();
   }
   [[nodiscard]] const Bvh& bvh() const { return bvh_; }
   [[nodiscard]] const BuildStats& build_stats() const { return bvh_.stats; }
+  /// The collapsed wide layout; empty when traversal is binary/quantized.
+  [[nodiscard]] const WideBvh& wide_bvh() const { return wide_; }
+  /// The quantized layout; empty unless width == kWideQuantized.
+  [[nodiscard]] const QuantizedWideBvh& quantized_bvh() const {
+    return quantized_;
+  }
+  /// Owning data point of each triangle.
+  [[nodiscard]] const std::vector<std::uint32_t>& owners() const {
+    return owners_;
+  }
+
+  /// True when this accel was built by the tessellating constructor and can
+  /// therefore refit via set_radius() (empty-centers tessellations count:
+  /// rescaling nothing is a valid ε sweep).
+  [[nodiscard]] bool rescalable() const { return rescalable_; }
+  /// Current tessellation radius (tessellating constructor only; 0 for the
+  /// generic constructor).
+  [[nodiscard]] float radius() const { return radius_; }
+  /// Applied vertex scale (>= radius: the mesh circumscribes the ε-ball).
+  /// Query rays need it for their tmax (core/rt_dbscan.cpp).
+  [[nodiscard]] float vertex_scale() const { return scale_; }
+
+  /// Change the tessellation radius and REFIT in place — the §VI-C
+  /// equivalent of SphereAccel::set_radius.  Vertices rescale about their
+  /// owning center (the tessellation is linear in the radius), so the BVH
+  /// topology is unchanged and an accel-update replaces the full
+  /// retessellate+rebuild an ε sweep used to pay.  Throws std::logic_error
+  /// for accels built from arbitrary triangles (no centers to scale about).
+  void set_radius(float radius);
 
   /// Trace one ray; `anyhit(owner_point, t)` fires for each triangle the ray
   /// actually intersects.  A ray crossing a tessellated sphere hits several
@@ -106,7 +155,7 @@ class TriangleAccel {
   void trace(const geom::Ray& ray, AnyHitProgram&& anyhit,
              TraversalStats& stats) const {
     traverse(
-        bvh_, ray,
+        bvh_, wide_, quantized_, ray,
         [&](std::uint32_t prim) {
           ++stats.isect_calls;  // hardware ray-triangle test
           float t = 0.0f;
@@ -120,9 +169,19 @@ class TriangleAccel {
   }
 
  private:
+  void build(const BuildOptions& options);
+
   std::vector<geom::Triangle> triangles_;
   std::vector<std::uint32_t> owners_;
+  /// Tessellation metadata (tessellating constructor only; empty/0 for the
+  /// generic constructor, which cannot refit).
+  std::vector<geom::Vec3> centers_;
+  float radius_ = 0.0f;
+  float scale_ = 0.0f;
+  bool rescalable_ = false;
   Bvh bvh_;
+  WideBvh wide_;  ///< collapsed layout; empty when traversal is binary
+  QuantizedWideBvh quantized_;  ///< 128-byte-node layout; kWideQuantized only
 };
 
 }  // namespace rtd::rt

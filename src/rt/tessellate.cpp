@@ -63,22 +63,51 @@ std::vector<Triangle> unit_icosphere(int subdivisions) {
 }
 
 float insphere_radius(std::span<const Triangle> unit_mesh) {
+  if (unit_mesh.empty()) {
+    throw std::invalid_argument("insphere_radius: empty mesh");
+  }
   float min_dist = std::numeric_limits<float>::max();
   for (const auto& t : unit_mesh) {
-    const Vec3 n = normalized(cross(t.b - t.a, t.c - t.a));
-    min_dist = std::min(min_dist, std::fabs(dot(n, t.a)));
+    const Vec3 n = cross(t.b - t.a, t.c - t.a);
+    const float len = length(n);
+    // A zero-area face has no plane: its "distance" would be 0/0 = NaN,
+    // which std::min silently drops — poisoning the scale factor every
+    // BVH bound downstream depends on.  Reject the mesh instead.
+    if (!(len > 0.0f) || !std::isfinite(len)) {
+      throw std::invalid_argument(
+          "insphere_radius: degenerate (zero-area or non-finite) face");
+    }
+    min_dist = std::min(min_dist, std::fabs(dot(n, t.a)) / len);
+  }
+  if (!(min_dist > 0.0f) || !std::isfinite(min_dist)) {
+    throw std::invalid_argument(
+        "insphere_radius: mesh does not enclose the origin");
   }
   return min_dist;
 }
 
 TessellatedSpheres tessellate_spheres(std::span<const Vec3> centers,
                                       float radius, int subdivisions) {
-  if (radius <= 0.0f) {
+  // Degenerate-input guards: a non-positive (or NaN) radius, or an invalid
+  // subdivision level, would otherwise emit NaN/inf vertex scale factors
+  // that poison every BVH bound built over the mesh.
+  if (!(radius > 0.0f) || !std::isfinite(radius)) {
     throw std::invalid_argument("tessellate_spheres: radius must be positive");
+  }
+  if (subdivisions < 0) {
+    throw std::invalid_argument(
+        "tessellate_spheres: subdivisions must be non-negative");
   }
   const auto unit = unit_icosphere(subdivisions);
   const float inradius = insphere_radius(unit);
   const float scale = radius / inradius;  // circumscribe the true sphere
+  if (!(scale > 0.0f) || !std::isfinite(scale)) {
+    throw std::invalid_argument(
+        "tessellate_spheres: non-finite vertex scale");
+  }
+
+  // Empty centers fall through: the general path below yields a well-formed
+  // empty tessellation with the metadata still populated (test-enforced).
 
   TessellatedSpheres out;
   out.triangles_per_sphere = static_cast<int>(unit.size());

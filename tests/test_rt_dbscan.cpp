@@ -239,11 +239,86 @@ TEST(RtDbscanRunner, CachedRunsSkipPhase1) {
   EXPECT_EQ(second.phase1.seconds, 0.0);
 }
 
-TEST(RtDbscanRunner, RejectsTriangleGeometry) {
+TEST(RtDbscanRunner, TriangleModeFirstRunMatchesOneShot) {
+  // §VI-C sessions are supported since the TriangleAccel refit path landed:
+  // the runner tessellates once and replays phases over the cached counts.
+  const auto dataset = data::taxi_gps(800, 93);
+  const Params params{0.3f, 8};
   RtDbscanOptions opts;
   opts.geometry = GeometryMode::kTriangles;
-  EXPECT_THROW(RtDbscanRunner({{0, 0, 0}}, 1.0f, opts),
-               std::invalid_argument);
+  opts.triangle_subdivisions = 1;
+  RtDbscanRunner runner(dataset.points, params.eps, opts);
+  EXPECT_FALSE(runner.counts_cached());
+  const auto cached = runner.run(params.min_pts);
+  EXPECT_TRUE(runner.counts_cached());
+  EXPECT_GT(cached.phase1.work.anyhit_calls, 0u);
+  const auto oneshot = rt_dbscan(dataset.points, params, opts);
+  EXPECT_EQ(cached.clustering.labels, oneshot.clustering.labels);
+  EXPECT_EQ(cached.neighbor_counts, oneshot.neighbor_counts);
+  // minPts re-run skips phase 1 entirely.
+  const auto second = runner.run(2 * params.min_pts);
+  EXPECT_EQ(second.phase1.work.rays, 0u);
+  expect_matches_reference(dataset.points, {params.eps, 2 * params.min_pts},
+                           second.clustering, "triangle-runner-rerun");
+}
+
+TEST(RtDbscanRunner, TriangleModeEpsSweepRefitsInPlace) {
+  // set_eps on a triangle session rescales the tessellation and REFITS —
+  // results must match a from-scratch run at every eps, across widths.
+  const auto dataset = data::taxi_gps(600, 94);
+  for (const rt::TraversalWidth width :
+       {rt::TraversalWidth::kBinary, rt::TraversalWidth::kWide,
+        rt::TraversalWidth::kWideQuantized}) {
+    RtDbscanOptions opts;
+    opts.geometry = GeometryMode::kTriangles;
+    opts.triangle_subdivisions = 0;
+    opts.device.build.width = width;
+    RtDbscanRunner runner(dataset.points, 0.2f, opts);
+    (void)runner.run(5);
+    for (const float eps : {0.45f, 0.15f, 0.3f}) {
+      runner.set_eps(eps);
+      EXPECT_FALSE(runner.counts_cached());
+      const Params params{eps, 5};
+      const auto swept = runner.run(params.min_pts);
+      expect_matches_reference(dataset.points, params, swept.clustering,
+                               "triangle-runner-eps-sweep");
+      const auto oneshot = rt_dbscan(dataset.points, params, opts);
+      EXPECT_EQ(swept.clustering.labels, oneshot.clustering.labels)
+          << rt::to_string(width) << " eps=" << eps;
+      EXPECT_EQ(swept.neighbor_counts, oneshot.neighbor_counts)
+          << rt::to_string(width) << " eps=" << eps;
+    }
+  }
+}
+
+TEST(RtDbscanRunner, TriangleModeEmptyInputSweeps) {
+  // Regression: an empty triangle session must allow set_eps (rescaling
+  // nothing is a valid ε sweep), exactly like the sphere session does.
+  RtDbscanOptions opts;
+  opts.geometry = GeometryMode::kTriangles;
+  RtDbscanRunner runner(std::vector<geom::Vec3>{}, 0.3f, opts);
+  EXPECT_NO_THROW(runner.set_eps(0.5f));
+  const auto r = runner.run(3);
+  EXPECT_EQ(r.clustering.size(), 0u);
+  EXPECT_EQ(r.clustering.cluster_count, 0u);
+}
+
+TEST(RtDbscan, TriangleModeWideWidthsMatchSphereMode) {
+  // The §VI-C acceptance path: triangle geometry over the wide and
+  // quantized kernels clusters identically to sphere mode.
+  const auto dataset = data::taxi_gps(1200, 95);
+  const Params params{0.3f, 10};
+  const auto spheres = rt_dbscan(dataset.points, params);
+  for (const rt::TraversalWidth width :
+       {rt::TraversalWidth::kWide, rt::TraversalWidth::kWideQuantized}) {
+    RtDbscanOptions opts;
+    opts.geometry = GeometryMode::kTriangles;
+    opts.device.build.width = width;
+    const auto triangles = rt_dbscan(dataset.points, params, opts);
+    const auto eq = dbscan::check_equivalent(
+        dataset.points, params, spheres.clustering, triangles.clustering);
+    EXPECT_TRUE(eq.equivalent) << rt::to_string(width) << ": " << eq.reason;
+  }
 }
 
 TEST(PublicApi, ClusterConvenienceWrapper) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
 
@@ -72,6 +73,58 @@ TEST(Tessellate, RejectsNonPositiveRadius) {
   const std::vector<Vec3> centers{{0, 0, 0}};
   EXPECT_THROW(tessellate_spheres(centers, 0.0f, 1), std::invalid_argument);
   EXPECT_THROW(tessellate_spheres(centers, -1.0f, 1), std::invalid_argument);
+  // NaN/inf radii would otherwise emit non-finite scale factors that poison
+  // every BVH bound downstream.
+  EXPECT_THROW(tessellate_spheres(
+                   centers, std::numeric_limits<float>::quiet_NaN(), 1),
+               std::invalid_argument);
+  EXPECT_THROW(
+      tessellate_spheres(centers, std::numeric_limits<float>::infinity(), 1),
+      std::invalid_argument);
+}
+
+TEST(Tessellate, RejectsNegativeSubdivisions) {
+  const std::vector<Vec3> centers{{0, 0, 0}};
+  EXPECT_THROW(tessellate_spheres(centers, 1.0f, -1), std::invalid_argument);
+  EXPECT_THROW(tessellate_spheres(centers, 1.0f, -7), std::invalid_argument);
+}
+
+TEST(Tessellate, EmptyCentersYieldEmptyWellFormedResult) {
+  const std::vector<Vec3> centers;
+  const auto mesh = tessellate_spheres(centers, 0.5f, 1);
+  EXPECT_TRUE(mesh.triangles.empty());
+  EXPECT_TRUE(mesh.owners.empty());
+  // Metadata is still populated so callers can reason about the config.
+  EXPECT_EQ(mesh.triangles_per_sphere, 80);
+  EXPECT_GE(mesh.scale, 0.5f);
+  EXPECT_TRUE(std::isfinite(mesh.scale));
+}
+
+TEST(InsphereRadius, RejectsDegenerateMeshes) {
+  // Empty mesh: no face planes, no inradius — previously returned FLT_MAX
+  // (scale ~ 0, collapsing all spheres to points).
+  EXPECT_THROW(insphere_radius({}), std::invalid_argument);
+
+  // All-degenerate mesh (zero-area faces): face normals are 0/0 = NaN,
+  // which std::min silently ignored, leaving FLT_MAX again.
+  const std::vector<Triangle> flat{
+      {{1, 0, 0}, {1, 0, 0}, {1, 0, 0}},
+      {{0, 1, 0}, {0, 1, 0}, {0, 1, 0}},
+  };
+  EXPECT_THROW(insphere_radius(flat), std::invalid_argument);
+
+  // One degenerate face among valid ones still invalidates the mesh (its
+  // plane distance is undefined, so the circumscription guarantee is off).
+  auto mesh = unit_icosphere(0);
+  mesh.push_back({{1, 0, 0}, {1, 0, 0}, {1, 0, 0}});
+  EXPECT_THROW(insphere_radius(mesh), std::invalid_argument);
+
+  // A face plane passing through the origin gives inradius 0 — the mesh
+  // cannot circumscribe any sphere around the origin.
+  const std::vector<Triangle> through_origin{
+      {{1, 0, 0}, {0, 1, 0}, {-1, -1, 0}},
+  };
+  EXPECT_THROW(insphere_radius(through_origin), std::invalid_argument);
 }
 
 TEST(Tessellate, CircumscribesTrueSphere) {

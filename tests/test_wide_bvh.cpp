@@ -72,6 +72,17 @@ bool is_subset(const std::vector<std::uint32_t>& sub,
   return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
 }
 
+std::vector<std::uint32_t> neighbor_set(const index::NeighborIndex& idx,
+                                        const Vec3& center, float eps,
+                                        std::uint32_t self) {
+  std::vector<std::uint32_t> ids;
+  TraversalStats stats;
+  idx.query_sphere(center, eps, self,
+                   [&](std::uint32_t j) { ids.push_back(j); }, stats);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 /// The candidate contract of the wide walk: a SUPERSET of the binary
 /// walk's candidates (its leaf lanes absorb whole subtrees), and after the
 /// exact per-primitive test both reduce to the same set.
@@ -105,6 +116,124 @@ TEST(WideBvh, CollapseValidatesOnBothBuilders) {
     EXPECT_EQ(wide.prim_index, binary.prim_index) << to_string(algo);
     EXPECT_LT(wide.nodes.size(), binary.nodes.size()) << to_string(algo);
     EXPECT_LE(wide.max_depth, binary.stats.max_depth) << to_string(algo);
+    // The quantized derivation keeps the same topology and validates its
+    // conservative-containment contract.
+    const QuantizedWideBvh quant = quantize_bvh(wide);
+    EXPECT_EQ(quant.validate(bounds), "") << to_string(algo);
+    EXPECT_EQ(quant.nodes.size(), wide.nodes.size()) << to_string(algo);
+    EXPECT_EQ(quant.prim_index, binary.prim_index) << to_string(algo);
+  }
+}
+
+TEST(QuantizedWideBvh, NodeIsExactly128Bytes) {
+  EXPECT_EQ(sizeof(QuantizedWideBvhNode), 128u);
+  EXPECT_EQ(sizeof(WideBvhNode), 256u);
+}
+
+TEST(QuantizedWideBvh, DecodedLaneBoundsAreConservative) {
+  // Every decoded lane box must contain the exact (uncompressed) lane box —
+  // the property that makes quantized candidate sets a superset.
+  const auto dataset = data::taxi_gps(3000, 23);
+  const auto bounds = sphere_bounds(dataset.points, 0.3f);
+  const WideBvh wide = collapse_bvh(build_bvh(bounds, {}));
+  const QuantizedWideBvh quant = quantize_bvh(wide);
+  ASSERT_EQ(quant.nodes.size(), wide.nodes.size());
+  for (std::size_t n = 0; n < wide.nodes.size(); ++n) {
+    const WideBvhNode& w = wide.nodes[n];
+    const QuantizedWideBvhNode& q = quant.nodes[n];
+    ASSERT_EQ(q.child_count, w.child_count);
+    for (unsigned lane = 0; lane < w.child_count; ++lane) {
+      const Aabb exact{{w.lo[0][lane], w.lo[1][lane], w.lo[2][lane]},
+                       {w.hi[0][lane], w.hi[1][lane], w.hi[2][lane]}};
+      EXPECT_TRUE(q.lane_bounds(lane).contains(exact))
+          << "node " << n << " lane " << lane;
+      EXPECT_EQ(q.child[lane], w.child[lane]);
+      EXPECT_EQ(q.count[lane], w.count[lane]);
+    }
+  }
+}
+
+TEST(QuantizedWideBvh, TraversalParityWithBinaryAndWide) {
+  const auto dataset = data::taxi_gps(3000, 29);
+  const auto bounds = sphere_bounds(dataset.points, 0.25f);
+  const Bvh binary = build_bvh(bounds, {});
+  const WideBvh wide = collapse_bvh(binary);
+  const QuantizedWideBvh quant = quantize_bvh(wide);
+  Rng rng(31);
+
+  TraversalStats sb;
+  TraversalStats sw;
+  TraversalStats sq;
+  for (std::size_t q = 0; q < dataset.points.size(); q += 41) {
+    const Ray point_ray = Ray::point_query(dataset.points[q]);
+    const Ray finite{dataset.points[q],
+                     {static_cast<float>(rng.uniform() - 0.5),
+                      q % 3 == 0 ? 0.0f
+                                 : static_cast<float>(rng.uniform() - 0.5),
+                      static_cast<float>(rng.uniform() - 0.5)},
+                     0.0f,
+                     q % 5 == 0 ? 2.0f : 1e30f};
+    for (const Ray& ray : {point_ray, finite}) {
+      const auto b = ray_candidates(binary, ray, sb);
+      const auto w = ray_candidates(wide, ray, sw);
+      const auto qc = ray_candidates(quant, ray, sq);
+      // Superset chain: binary ⊆ wide ⊆ quantized.
+      EXPECT_TRUE(is_subset(b, w)) << "q=" << q;
+      EXPECT_TRUE(is_subset(w, qc)) << "q=" << q;
+      expect_candidate_contract(
+          qc, b,
+          [&](std::uint32_t id) {
+            return geom::ray_intersects_aabb(ray, bounds[id]);
+          },
+          "quantized ray");
+    }
+    const Aabb box = Aabb::of_sphere(dataset.points[q], 0.5f);
+    const auto ob = overlap_candidates(binary, box, sb);
+    const auto ow = overlap_candidates(wide, box, sw);
+    const auto oq = overlap_candidates(quant, box, sq);
+    EXPECT_TRUE(is_subset(ob, ow)) << "q=" << q;
+    EXPECT_TRUE(is_subset(ow, oq)) << "q=" << q;
+    expect_candidate_contract(
+        oq, ob, [&](std::uint32_t id) { return box.overlaps(bounds[id]); },
+        "quantized overlap");
+  }
+  EXPECT_EQ(sq.rays, sb.rays);
+  EXPECT_LT(sq.nodes_visited, sb.nodes_visited);
+}
+
+TEST(QuantizedWideBvh, RefitTracksRadiusSweep) {
+  const auto dataset = data::taxi_gps(2000, 37);
+  BuildOptions opts;
+  opts.width = TraversalWidth::kWideQuantized;
+  SphereAccel accel(dataset.points, 0.2f, opts);
+  ASSERT_FALSE(accel.quantized_bvh().empty());
+  ASSERT_TRUE(accel.wide_bvh().empty());  // at most one derived layout
+
+  for (const float radius : {0.4f, 0.1f, 0.25f}) {
+    accel.set_radius(radius);
+    const auto bounds = sphere_bounds(dataset.points, radius);
+    EXPECT_EQ(accel.quantized_bvh().validate(bounds), "") << radius;
+    const float r2 = radius * radius;
+    TraversalStats stats;
+    for (std::size_t q = 0; q < dataset.points.size(); q += 97) {
+      const Ray ray = Ray::point_query(dataset.points[q]);
+      std::vector<std::uint32_t> exact;
+      for (const auto id : ray_candidates(accel.quantized_bvh(), ray,
+                                          stats)) {
+        if (geom::distance_squared(dataset.points[q], dataset.points[id]) <=
+            r2) {
+          exact.push_back(id);
+        }
+      }
+      std::vector<std::uint32_t> oracle;
+      for (std::uint32_t j = 0; j < dataset.points.size(); ++j) {
+        if (geom::distance_squared(dataset.points[q], dataset.points[j]) <=
+            r2) {
+          oracle.push_back(j);
+        }
+      }
+      EXPECT_EQ(exact, oracle) << radius << " q=" << q;
+    }
   }
 }
 
@@ -251,14 +380,39 @@ TEST(WideBvh, RefitTracksRadiusSweep) {
 TEST(WideBvh, WidthResolution) {
   EXPECT_FALSE(use_wide_traversal(TraversalWidth::kBinary, 1u << 20));
   EXPECT_TRUE(use_wide_traversal(TraversalWidth::kWide, 1));
-  EXPECT_FALSE(use_wide_traversal(TraversalWidth::kWide, 0));
+  EXPECT_TRUE(use_wide_traversal(TraversalWidth::kWideQuantized, 1));
   EXPECT_FALSE(use_wide_traversal(TraversalWidth::kAuto,
                                   kWideBvhMinPrims - 1));
   EXPECT_TRUE(use_wide_traversal(TraversalWidth::kAuto, kWideBvhMinPrims));
 
+  // Unified empty-input rule: EVERY width resolves to the (trivial) binary
+  // path at zero primitives — an explicit kWide/kWideQuantized request is
+  // not "quietly disabled" at some other threshold, zero is the one size
+  // with nothing to collapse (see the use_wide_traversal header comment).
+  for (const TraversalWidth w :
+       {TraversalWidth::kAuto, TraversalWidth::kBinary, TraversalWidth::kWide,
+        TraversalWidth::kWideQuantized}) {
+    EXPECT_FALSE(use_wide_traversal(w, 0)) << to_string(w);
+  }
+
+  EXPECT_FALSE(use_quantized_nodes(TraversalWidth::kAuto));
+  EXPECT_FALSE(use_quantized_nodes(TraversalWidth::kWide));
+  EXPECT_TRUE(use_quantized_nodes(TraversalWidth::kWideQuantized));
+
   EXPECT_STREQ(to_string(TraversalWidth::kAuto), "auto");
   EXPECT_STREQ(to_string(TraversalWidth::kBinary), "binary");
   EXPECT_STREQ(to_string(TraversalWidth::kWide), "wide");
+  EXPECT_STREQ(to_string(TraversalWidth::kWideQuantized), "quantized");
+  for (const TraversalWidth w :
+       {TraversalWidth::kAuto, TraversalWidth::kBinary, TraversalWidth::kWide,
+        TraversalWidth::kWideQuantized}) {
+    TraversalWidth parsed = TraversalWidth::kBinary;
+    EXPECT_TRUE(parse_traversal_width(to_string(w), parsed));
+    EXPECT_EQ(parsed, w);
+  }
+  TraversalWidth unused = TraversalWidth::kAuto;
+  EXPECT_FALSE(parse_traversal_width("narrow", unused));
+  EXPECT_EQ(unused, TraversalWidth::kAuto);
 
   // kAuto materializes the wide layout only past the threshold.
   const auto small = data::taxi_gps(512, 19);
@@ -267,6 +421,104 @@ TEST(WideBvh, WidthResolution) {
   const auto large = data::taxi_gps(kWideBvhMinPrims, 19);
   const index::PointBvhIndex large_idx(large.points, 0.3f);
   EXPECT_FALSE(large_idx.wide_bvh().empty());
+
+  // Explicit requests on empty inputs build nothing and stay on the
+  // (trivially empty) binary walk — on every owner.
+  const std::vector<Vec3> none;
+  index::IndexBuildOptions wide_opts;
+  wide_opts.build.width = TraversalWidth::kWide;
+  const index::PointBvhIndex empty_idx(none, 0.3f, wide_opts.build);
+  EXPECT_TRUE(empty_idx.wide_bvh().empty());
+  EXPECT_TRUE(empty_idx.quantized_bvh().empty());
+  EXPECT_EQ(neighbor_set(empty_idx, Vec3{0, 0, 0}, 0.3f, index::kNoSelf),
+            std::vector<std::uint32_t>{});
+  BuildOptions tri_opts;
+  tri_opts.width = TraversalWidth::kWideQuantized;
+  const TriangleAccel empty_tri({}, {}, tri_opts);
+  EXPECT_TRUE(empty_tri.wide_bvh().empty());
+  EXPECT_TRUE(empty_tri.quantized_bvh().empty());
+}
+
+// Satellite: collapse_bvh() returns an EMPTY tree when a binary leaf
+// exceeds kWideMaxLeafCount (only reachable with an absurd
+// BuildOptions::leaf_size) — every owner must detect that and keep the
+// binary walk, not traverse a hollow wide tree.
+TEST(WideBvh, OversizeLeafFallsBackToBinaryOnEveryOwner) {
+  // One leaf holding > 0xffff primitives: 16-bit lane counts cannot
+  // represent it.
+  const std::size_t n = static_cast<std::size_t>(kWideMaxLeafCount) + 2;
+  const auto dataset = data::uniform_cube(n, 50.0f, 3, 43);
+  BuildOptions absurd;
+  absurd.leaf_size = 1u << 20;
+  absurd.width = TraversalWidth::kWide;
+
+  const auto bounds = sphere_bounds(dataset.points, 0.5f);
+  const Bvh binary = build_bvh(bounds, absurd);
+  ASSERT_TRUE(collapse_bvh(binary).empty());
+  ASSERT_TRUE(collapse_bvh_quantized(binary).empty());
+
+  // SphereAccel: explicit kWide request, collapse unrepresentable → the
+  // accel must report an empty wide tree and still answer correctly.
+  SphereAccel accel(dataset.points, 0.5f, absurd);
+  EXPECT_TRUE(accel.wide_bvh().empty());
+  EXPECT_TRUE(accel.quantized_bvh().empty());
+  TraversalStats stats;
+  const Ray probe = Ray::point_query(dataset.points[7]);
+  std::vector<std::uint32_t> got;
+  accel.trace(
+      probe,
+      [&](std::uint32_t prim) {
+        if (accel.origin_inside(probe, prim)) got.push_back(prim);
+      },
+      stats);
+  std::sort(got.begin(), got.end());
+  std::vector<std::uint32_t> oracle;
+  for (std::uint32_t j = 0; j < n; ++j) {
+    if (geom::distance_squared(dataset.points[7], dataset.points[j]) <=
+        0.25f) {
+      oracle.push_back(j);
+    }
+  }
+  EXPECT_EQ(got, oracle);
+
+  // PointBvhIndex detects the empty collapse the same way.
+  const index::PointBvhIndex idx(dataset.points, 0.5f, absurd);
+  EXPECT_TRUE(idx.wide_bvh().empty());
+  EXPECT_TRUE(idx.quantized_bvh().empty());
+  EXPECT_EQ(neighbor_set(idx, dataset.points[7], 0.5f, 7),
+            [&] {
+              std::vector<std::uint32_t> o;
+              for (std::uint32_t j = 0; j < n; ++j) {
+                if (j != 7 && geom::distance_squared(dataset.points[7],
+                                                     dataset.points[j]) <=
+                                  0.25f) {
+                  o.push_back(j);
+                }
+              }
+              return o;
+            }());
+
+  // TriangleAccel: an oversize-leaf build over triangles falls back too
+  // (kWideQuantized request this time).
+  std::vector<geom::Triangle> tris;
+  std::vector<std::uint32_t> owners;
+  const std::size_t tri_n = static_cast<std::size_t>(kWideMaxLeafCount) + 2;
+  tris.reserve(tri_n);
+  owners.reserve(tri_n);
+  Rng rng(44);
+  for (std::uint32_t i = 0; i < tri_n; ++i) {
+    const Vec3 base{rng.uniformf(-40, 40), rng.uniformf(-40, 40),
+                    rng.uniformf(-40, 40)};
+    tris.push_back({base, base + Vec3{0.1f, 0, 0}, base + Vec3{0, 0.1f, 0}});
+    owners.push_back(i);
+  }
+  BuildOptions absurd_q = absurd;
+  absurd_q.width = TraversalWidth::kWideQuantized;
+  const TriangleAccel tri_accel(std::move(tris), std::move(owners),
+                                absurd_q);
+  EXPECT_TRUE(tri_accel.wide_bvh().empty());
+  EXPECT_TRUE(tri_accel.quantized_bvh().empty());
+  EXPECT_FALSE(tri_accel.bvh().empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -309,38 +561,66 @@ std::unique_ptr<index::NeighborIndex> make_width_index(
   return index::make_index(points, eps, kind, options);
 }
 
-std::vector<std::uint32_t> neighbor_set(const index::NeighborIndex& idx,
-                                        const Vec3& center, float eps,
-                                        std::uint32_t self) {
-  std::vector<std::uint32_t> ids;
-  TraversalStats stats;
-  idx.query_sphere(center, eps, self,
-                   [&](std::uint32_t j) { ids.push_back(j); }, stats);
-  std::sort(ids.begin(), ids.end());
-  return ids;
-}
-
 TEST(WideBvhIndexParity, NeighborSetsMatchBinaryOnEveryBvhBackend) {
   for (const auto& c : width_cases()) {
     for (const index::IndexKind kind :
          {index::IndexKind::kPointBvh, index::IndexKind::kBvhRt}) {
       const auto binary =
           make_width_index(c.points, c.eps, kind, TraversalWidth::kBinary);
-      const auto wide =
-          make_width_index(c.points, c.eps, kind, TraversalWidth::kWide);
-      for (std::uint32_t q = 0; q < c.points.size(); q += 17) {
-        EXPECT_EQ(neighbor_set(*wide, c.points[q], c.eps, q),
-                  neighbor_set(*binary, c.points[q], c.eps, q))
-            << c.name << " " << index::to_string(kind) << " q=" << q;
+      for (const TraversalWidth width :
+           {TraversalWidth::kWide, TraversalWidth::kWideQuantized}) {
+        const auto wide = make_width_index(c.points, c.eps, kind, width);
+        for (std::uint32_t q = 0; q < c.points.size(); q += 17) {
+          EXPECT_EQ(neighbor_set(*wide, c.points[q], c.eps, q),
+                    neighbor_set(*binary, c.points[q], c.eps, q))
+              << c.name << " " << index::to_string(kind) << " "
+              << to_string(width) << " q=" << q;
+        }
+        // query_count agrees too (including through the early-exit cap).
+        for (std::uint32_t q = 0; q < c.points.size(); q += 41) {
+          TraversalStats s1;
+          TraversalStats s2;
+          EXPECT_EQ(wide->query_count(c.points[q], c.eps, q, s1),
+                    binary->query_count(c.points[q], c.eps, q, s2))
+              << c.name << " " << index::to_string(kind) << " "
+              << to_string(width);
+        }
       }
-      // query_count agrees too (including through the early-exit cap).
-      for (std::uint32_t q = 0; q < c.points.size(); q += 41) {
-        TraversalStats s1;
-        TraversalStats s2;
-        EXPECT_EQ(wide->query_count(c.points[q], c.eps, q, s1),
-                  binary->query_count(c.points[q], c.eps, q, s2))
-            << c.name << " " << index::to_string(kind);
+    }
+  }
+}
+
+TEST(WideBvhIndexParity, QueryBoxMatchesBinaryOnEveryBvhBackend) {
+  // query_box routes through the same layout dispatch as the sphere
+  // queries — including for the quantized layout (regression: BvhRtIndex
+  // once fell back to the binary walk here).
+  const auto c = width_cases().front();
+  const auto box_set = [](const index::NeighborIndex& idx, const Aabb& box,
+                          TraversalStats& stats) {
+    std::vector<std::uint32_t> ids;
+    idx.query_box(box, [&](std::uint32_t j) { ids.push_back(j); }, stats);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  for (const index::IndexKind kind :
+       {index::IndexKind::kPointBvh, index::IndexKind::kBvhRt}) {
+    const auto binary =
+        make_width_index(c.points, c.eps, kind, TraversalWidth::kBinary);
+    for (const TraversalWidth width :
+         {TraversalWidth::kWide, TraversalWidth::kWideQuantized}) {
+      const auto other = make_width_index(c.points, c.eps, kind, width);
+      TraversalStats sb;
+      TraversalStats so;
+      for (std::uint32_t q = 0; q < c.points.size(); q += 97) {
+        const Aabb box = Aabb::of_sphere(c.points[q], 1.3f * c.eps);
+        EXPECT_EQ(box_set(*other, box, so), box_set(*binary, box, sb))
+            << index::to_string(kind) << " " << to_string(width)
+            << " q=" << q;
       }
+      // The wide layout must actually be WALKED: a silent binary fallback
+      // would pop the same node count as the binary index.
+      EXPECT_LT(so.nodes_visited, sb.nodes_visited)
+          << index::to_string(kind) << " " << to_string(width);
     }
   }
 }
@@ -354,20 +634,26 @@ TEST(WideBvhClusteringParity, EngineIdenticalAcrossWidths) {
          {index::IndexKind::kPointBvh, index::IndexKind::kBvhRt}) {
       const auto binary =
           make_width_index(c.points, p.eps, kind, TraversalWidth::kBinary);
-      const auto wide =
-          make_width_index(c.points, p.eps, kind, TraversalWidth::kWide);
       const auto run_b = dbscan::cluster_with_index(*binary, p);
-      const auto run_w = dbscan::cluster_with_index(*wide, p);
-      // Identical, not merely equivalent: the candidate sets match
-      // per-query, so the whole two-phase run replays bit-for-bit.
-      EXPECT_EQ(run_w.clustering.labels, run_b.clustering.labels)
-          << c.name << " " << index::to_string(kind);
-      EXPECT_EQ(run_w.clustering.is_core, run_b.clustering.is_core)
-          << c.name << " " << index::to_string(kind);
-      EXPECT_EQ(run_w.neighbor_counts, run_b.neighbor_counts)
-          << c.name << " " << index::to_string(kind);
-      testutil::expect_matches_reference(c.points, p, run_w.clustering,
-                                         c.name);
+      for (const TraversalWidth width :
+           {TraversalWidth::kWide, TraversalWidth::kWideQuantized}) {
+        const auto wide = make_width_index(c.points, p.eps, kind, width);
+        const auto run_w = dbscan::cluster_with_index(*wide, p);
+        // Identical, not merely equivalent: the candidate sets match
+        // per-query after the exact filter, so the whole two-phase run
+        // replays bit-for-bit.
+        EXPECT_EQ(run_w.clustering.labels, run_b.clustering.labels)
+            << c.name << " " << index::to_string(kind) << " "
+            << to_string(width);
+        EXPECT_EQ(run_w.clustering.is_core, run_b.clustering.is_core)
+            << c.name << " " << index::to_string(kind) << " "
+            << to_string(width);
+        EXPECT_EQ(run_w.neighbor_counts, run_b.neighbor_counts)
+            << c.name << " " << index::to_string(kind) << " "
+            << to_string(width);
+        testutil::expect_matches_reference(c.points, p, run_w.clustering,
+                                           c.name);
+      }
     }
   }
 }
@@ -405,6 +691,172 @@ TEST(WideBvhClusteringParity, VariantsMatchReferenceWithForcedWide) {
   const auto rt_w = core::rt_dbscan(dataset.points, params, wide);
   EXPECT_EQ(rt_w.clustering.labels, rt_b.clustering.labels);
   EXPECT_EQ(rt_w.neighbor_counts, rt_b.neighbor_counts);
+}
+
+// ---------------------------------------------------------------------------
+// Triangle mode (§VI-C) on the wide kernel: the tessellated scene must
+// surface identical owner sets and identical clusterings across binary /
+// wide / quantized, on the standard degenerate datasets, and the wide
+// layouts must refit through a TriangleAccel ε sweep.
+// ---------------------------------------------------------------------------
+
+/// Owner set a +z §VI-C query ray hits (exact AnyHit dedup), sorted.
+std::vector<std::uint32_t> traced_owner_set(const TriangleAccel& accel,
+                                            const Vec3& origin, float tmax,
+                                            TraversalStats& stats) {
+  std::vector<std::uint32_t> owners;
+  const geom::Ray ray{origin, {0.0f, 0.0f, 1.0f}, 0.0f, tmax};
+  accel.trace(
+      ray, [&](std::uint32_t owner, float /*t*/) { owners.push_back(owner); },
+      stats);
+  std::sort(owners.begin(), owners.end());
+  owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+  return owners;
+}
+
+TEST(TriangleWideParity, KAutoCollapsesAtThreshold) {
+  // >= kWideBvhMinPrims TRIANGLES (not points): 256 spheres x 20 faces.
+  const auto dataset = data::taxi_gps(256, 53);
+  const TriangleAccel big(dataset.points, 0.3f, /*subdivisions=*/0, {});
+  ASSERT_GE(big.triangle_count(), kWideBvhMinPrims);
+  EXPECT_FALSE(big.wide_bvh().empty());  // kAuto default picked wide
+
+  const auto small = data::taxi_gps(64, 53);
+  const TriangleAccel tiny(small.points, 0.3f, 0, {});
+  ASSERT_LT(tiny.triangle_count(), kWideBvhMinPrims);
+  EXPECT_TRUE(tiny.wide_bvh().empty());
+}
+
+TEST(TriangleWideParity, OwnerSetsIdenticalAcrossWidths) {
+  struct TriCase {
+    const char* name;
+    std::vector<Vec3> points;
+    float eps;
+  };
+  std::vector<TriCase> cases;
+  cases.push_back({"uniform", data::uniform_cube(400, 12.0f, 3, 61).points,
+                   0.9f});
+  cases.push_back(
+      {"blobs", data::gaussian_blobs(400, 3, 0.5f, 8.0f, 3, 62).points,
+       0.5f});
+  std::vector<Vec3> dups(48, Vec3{1.0f, 2.0f, 3.0f});
+  cases.push_back({"all_duplicates", std::move(dups), 0.5f});
+
+  for (const auto& c : cases) {
+    BuildOptions binary_opts;
+    binary_opts.width = TraversalWidth::kBinary;
+    const TriangleAccel binary(c.points, c.eps, 1, binary_opts);
+    const float tmax = 1.01f * (c.eps + binary.vertex_scale());
+    for (const TraversalWidth width :
+         {TraversalWidth::kWide, TraversalWidth::kWideQuantized}) {
+      BuildOptions opts;
+      opts.width = width;
+      const TriangleAccel other(c.points, c.eps, 1, opts);
+      if (width == TraversalWidth::kWide) {
+        ASSERT_FALSE(other.wide_bvh().empty()) << c.name;
+      } else {
+        ASSERT_FALSE(other.quantized_bvh().empty()) << c.name;
+      }
+      TraversalStats s1;
+      TraversalStats s2;
+      for (std::size_t q = 0; q < c.points.size(); q += 7) {
+        EXPECT_EQ(traced_owner_set(other, c.points[q], tmax, s1),
+                  traced_owner_set(binary, c.points[q], tmax, s2))
+            << c.name << " " << to_string(width) << " q=" << q;
+      }
+      // The point of the kernel: same exact hits, fewer node pops.
+      EXPECT_LT(s1.nodes_visited, s2.nodes_visited)
+          << c.name << " " << to_string(width);
+      EXPECT_EQ(s1.anyhit_calls, s2.anyhit_calls)
+          << c.name << " " << to_string(width);
+    }
+  }
+}
+
+TEST(TriangleWideParity, ClusteringsIdenticalAcrossWidths) {
+  const auto dataset = data::gaussian_blobs(700, 4, 0.4f, 9.0f, 3, 67);
+  const dbscan::Params params{0.5f, 6};
+  core::RtDbscanOptions base;
+  base.geometry = core::GeometryMode::kTriangles;
+  base.triangle_subdivisions = 1;
+
+  core::RtDbscanOptions binary = base;
+  binary.device.build.width = TraversalWidth::kBinary;
+  const auto rt_b = core::rt_dbscan(dataset.points, params, binary);
+  testutil::expect_matches_reference(dataset.points, params, rt_b.clustering,
+                                     "triangles+binary");
+
+  for (const TraversalWidth width :
+       {TraversalWidth::kWide, TraversalWidth::kWideQuantized}) {
+    core::RtDbscanOptions opts = base;
+    opts.device.build.width = width;
+    const auto rt_w = core::rt_dbscan(dataset.points, params, opts);
+    EXPECT_EQ(rt_w.clustering.labels, rt_b.clustering.labels)
+        << to_string(width);
+    EXPECT_EQ(rt_w.clustering.is_core, rt_b.clustering.is_core)
+        << to_string(width);
+    EXPECT_EQ(rt_w.neighbor_counts, rt_b.neighbor_counts)
+        << to_string(width);
+    // AnyHit counts match too: the exact triangle filter runs before the
+    // program, so the wide superset only inflates candidate tests.
+    EXPECT_EQ(rt_w.phase1.work.anyhit_calls, rt_b.phase1.work.anyhit_calls)
+        << to_string(width);
+  }
+}
+
+TEST(TriangleWideParity, RefitAfterEpsSweepKeepsParity) {
+  const auto dataset = data::taxi_gps(500, 71);
+  for (const TraversalWidth width :
+       {TraversalWidth::kBinary, TraversalWidth::kWide,
+        TraversalWidth::kWideQuantized}) {
+    BuildOptions opts;
+    opts.width = width;
+    TriangleAccel accel(dataset.points, 0.2f, 1, opts);
+    for (const float eps : {0.45f, 0.15f, 0.3f}) {
+      accel.set_radius(eps);
+      EXPECT_FLOAT_EQ(accel.radius(), eps);
+      // Refit accel vs from-scratch accel: identical owner sets per query.
+      const TriangleAccel fresh(dataset.points, eps, 1, opts);
+      EXPECT_NEAR(accel.vertex_scale(), fresh.vertex_scale(),
+                  1e-4f * fresh.vertex_scale());
+      const float tmax = 1.01f * (eps + fresh.vertex_scale());
+      TraversalStats s1;
+      for (std::size_t q = 0; q < dataset.points.size(); q += 23) {
+        // The refit mesh is bit-near but not bit-identical to a fresh
+        // tessellation (raw shell crossings in the eps..circumradius band
+        // may differ by ulps); what the clustering consumes is the owner
+        // set after the exact distance filter — that must match the brute
+        // oracle exactly, circumscription guarantees no true neighbor is
+        // missed.
+        const auto owners = traced_owner_set(accel, dataset.points[q], tmax,
+                                             s1);
+        std::vector<std::uint32_t> exact;
+        for (const auto id : owners) {
+          if (geom::distance_squared(dataset.points[q], dataset.points[id]) <=
+              eps * eps) {
+            exact.push_back(id);
+          }
+        }
+        std::vector<std::uint32_t> oracle;
+        for (std::uint32_t j = 0; j < dataset.points.size(); ++j) {
+          if (geom::distance_squared(dataset.points[q], dataset.points[j]) <=
+              eps * eps) {
+            oracle.push_back(j);
+          }
+        }
+        EXPECT_EQ(exact, oracle) << to_string(width) << " eps=" << eps
+                                 << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(TriangleWideParity, GenericAccelRejectsSetRadius) {
+  std::vector<geom::Triangle> tris{{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}};
+  std::vector<std::uint32_t> owners{0};
+  TriangleAccel accel(std::move(tris), std::move(owners), {});
+  EXPECT_FALSE(accel.rescalable());
+  EXPECT_THROW(accel.set_radius(0.5f), std::logic_error);
 }
 
 }  // namespace
