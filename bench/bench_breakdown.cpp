@@ -12,11 +12,10 @@
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "core/api.hpp"
 #include "core/rt_dbscan.hpp"
-#include "dbscan/engine.hpp"
 #include "dbscan/fdbscan.hpp"
 #include "data/generators.hpp"
-#include "index/neighbor_index.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtd;
@@ -90,9 +89,10 @@ int main(int argc, char** argv) {
       (fd_p1 + fd_p2) / (rt_p1 + rt_p2));
 
   // -------------------------------------------------------------------------
-  // NeighborIndex backend sweep: the same two-phase engine, every backend.
+  // NeighborIndex backend sweep: one cold session per backend (the session
+  // API reports the build vs phase split itself via RunStats).
   // -------------------------------------------------------------------------
-  std::printf("\n--- NeighborIndex backend sweep (unified engine, n=%zu) "
+  std::printf("\n--- NeighborIndex backend sweep (rtd::Clusterer, n=%zu) "
               "---\n", total_n);
   Table sweep({"backend", "build", "phase 1", "phase 2", "total",
                "isect/query"});
@@ -102,23 +102,29 @@ int main(int argc, char** argv) {
                   total_n);
       continue;
     }
-    double build_s = 0.0;
-    dbscan::IndexEngineResult run;
+    ClusterResult run;
     bench::time_median(cfg.reps, [&] {
-      Timer build_timer;
-      const auto idx = index::make_index(dataset.points, eps, kind);
-      build_s = build_timer.seconds();
-      run = dbscan::cluster_with_index(*idx, params);
+      // Options defaults (early_exit off) match the engine defaults the
+      // pre-session code measured, keeping columns comparable across
+      // BENCH_PR3/4/5 snapshots.
+      Clusterer session = Clusterer::borrowing(
+          dataset.points, Options().with_backend(kind));
+      run = session.run(eps, min_pts);
     });
-    bench::verify(dataset.points, params, rtr.clustering, run.clustering,
-                  index::to_string(kind));
+    bench::verify(dataset.points, params, rtr.clustering,
+                  run.to_clustering(), index::to_string(kind));
+    const auto& st = run.stats;
     const double isect_per_query =
-        run.phase1.isect_per_ray() + run.phase2.isect_per_ray();
-    sweep.add_row({index::to_string(kind), Table::seconds(build_s),
-                   Table::seconds(run.phase1.seconds),
-                   Table::seconds(run.phase2.seconds),
-                   Table::seconds(build_s + run.phase1.seconds +
-                                  run.phase2.seconds),
+        st.phase1.isect_per_ray() + st.phase2.isect_per_ray();
+    // total = build + phases (the pre-session column semantics), NOT the
+    // full run() wall time — run.seconds also covers the result epilogue
+    // (label finalization, membership table), which is not under test.
+    sweep.add_row({index::to_string(st.backend),
+                   Table::seconds(st.timings.index_build_seconds),
+                   Table::seconds(st.phase1.seconds),
+                   Table::seconds(st.phase2.seconds),
+                   Table::seconds(st.timings.index_build_seconds +
+                                  st.phase1.seconds + st.phase2.seconds),
                    Table::num(isect_per_query, 1)});
   }
   if (cfg.csv) {
@@ -134,8 +140,8 @@ int main(int argc, char** argv) {
   // the coarser wide leaves (plus the conservative uint8 rounding for
   // quantized).
   // -------------------------------------------------------------------------
-  std::printf("\n--- Binary vs wide vs quantized BVH traversal (unified "
-              "engine, n=%zu) ---\n", total_n);
+  std::printf("\n--- Binary vs wide vs quantized BVH traversal "
+              "(rtd::Clusterer, n=%zu) ---\n", total_n);
   Table widths({"backend", "width", "build", "phase 1", "phase 2", "total",
                 "nodes/query", "isect/query"});
   for (const index::IndexKind kind :
@@ -143,28 +149,26 @@ int main(int argc, char** argv) {
     for (const rt::TraversalWidth width :
          {rt::TraversalWidth::kBinary, rt::TraversalWidth::kWide,
           rt::TraversalWidth::kWideQuantized}) {
-      index::IndexBuildOptions build_options;
-      build_options.build.width = width;
-      double build_s = 0.0;
-      dbscan::IndexEngineResult run;
+      ClusterResult run;
       bench::time_median(cfg.reps, [&] {
-        Timer build_timer;
-        const auto idx =
-            index::make_index(dataset.points, eps, kind, build_options);
-        build_s = build_timer.seconds();
-        run = dbscan::cluster_with_index(*idx, params);
+        Clusterer session = Clusterer::borrowing(
+            dataset.points, Options().with_backend(kind).with_width(width));
+        run = session.run(eps, min_pts);
       });
-      bench::verify(dataset.points, params, rtr.clustering, run.clustering,
-                    rt::to_string(width));
+      bench::verify(dataset.points, params, rtr.clustering,
+                    run.to_clustering(), rt::to_string(width));
+      const auto& st = run.stats;
       widths.add_row(
           {index::to_string(kind), rt::to_string(width),
-           Table::seconds(build_s), Table::seconds(run.phase1.seconds),
-           Table::seconds(run.phase2.seconds),
-           Table::seconds(build_s + run.phase1.seconds + run.phase2.seconds),
-           Table::num(run.phase1.nodes_per_ray() +
-                          run.phase2.nodes_per_ray(), 1),
-           Table::num(run.phase1.isect_per_ray() +
-                          run.phase2.isect_per_ray(), 1)});
+           Table::seconds(st.timings.index_build_seconds),
+           Table::seconds(st.phase1.seconds),
+           Table::seconds(st.phase2.seconds),
+           Table::seconds(st.timings.index_build_seconds +
+                          st.phase1.seconds + st.phase2.seconds),
+           Table::num(st.phase1.nodes_per_ray() +
+                          st.phase2.nodes_per_ray(), 1),
+           Table::num(st.phase1.isect_per_ray() +
+                          st.phase2.isect_per_ray(), 1)});
     }
   }
   if (cfg.csv) {

@@ -14,6 +14,7 @@
 #include <cstdlib>
 
 #include "bench_util.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/rt_dbscan.hpp"
 #include "data/generators.hpp"
@@ -31,13 +32,9 @@ int main(int argc, char** argv) {
   const float eps = static_cast<float>(flags.get_double("eps", 0.3));
   const auto min_pts =
       static_cast<std::uint32_t>(flags.get_int("minpts", 20));
-  rt::TraversalWidth forced_width = rt::TraversalWidth::kAuto;
-  if (!rt::parse_traversal_width(
-          flags.get("width", "auto").c_str(), forced_width)) {
-    std::fprintf(stderr, "unknown --width '%s' (auto|binary|wide|"
-                         "quantized)\n", flags.get("width", "").c_str());
-    return EXIT_FAILURE;
-  }
+  const auto width = cli::width_flag(flags);
+  if (!width) return EXIT_FAILURE;
+  const rt::TraversalWidth forced_width = *width;
   const auto dataset = data::taxi_gps(n, 2023);
   const dbscan::Params params{eps, min_pts};
 

@@ -1,25 +1,29 @@
 // Automatic ε selection via the k-distance graph (Ester et al.'s original
-// recipe), computed with the RT-kNN extension, then clustering with the
-// suggestion.  Demonstrates the end-to-end "no magic numbers" workflow.
+// recipe) on the session API: the same rtd::Clusterer computes the graph
+// (through the RT-kNN extension), suggests ε at the knee, and clusters with
+// it.  Demonstrates the end-to-end "no magic numbers" workflow.
 //
-//   ./eps_selection [--n 40000] [--k 4]
+//   ./eps_selection [--n 40000] [--k 4] [--backend auto]
 #include <cstdio>
 
-#include "common/flags.hpp"
-#include "core/kdist.hpp"
-#include "core/rt_dbscan.hpp"
+#include "common/cli.hpp"
+#include "core/api.hpp"
 #include "data/generators.hpp"
 
 int main(int argc, char** argv) {
   const rtd::Flags flags(argc, argv);
   const auto n = static_cast<std::size_t>(flags.get_int("n", 40000));
   const auto k = static_cast<std::uint32_t>(flags.get_int("k", 4));
+  const auto backend = rtd::cli::backend_flag(flags);
+  if (!backend) return 1;
 
   const auto dataset = rtd::data::taxi_gps(n);
   std::printf("eps selection over %zu taxi GPS points (k = %u)\n",
               dataset.size(), k);
 
-  const auto kd = rtd::core::kdist_graph(dataset.points, k);
+  rtd::Clusterer session(dataset.points,
+                         rtd::Options().with_backend(*backend));
+  const auto kd = session.kdist(k);
   std::printf("  k-distance graph: max %.4f, knee at rank %zu -> "
               "suggested eps = %.4f\n",
               static_cast<double>(kd.sorted_kdist.front()), kd.knee_index,
@@ -37,15 +41,14 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  const auto r =
-      rtd::core::rt_dbscan(dataset.points, {kd.suggested_eps, k + 1});
-  std::printf("  RT-DBSCAN(eps=%.4f, minPts=%u): %u clusters, %zu noise "
-              "(%.1f%%), %.1f ms\n",
+  const rtd::ClusterResult& r = session.run(kd.suggested_eps, k + 1);
+  std::printf("  DBSCAN(eps=%.4f, minPts=%u, backend %s): %u clusters, "
+              "%zu noise (%.1f%%), %.1f ms\n",
               static_cast<double>(kd.suggested_eps), k + 1,
-              r.clustering.cluster_count,
-              r.clustering.noise_count(),
-              100.0 * static_cast<double>(r.clustering.noise_count()) /
+              rtd::index::to_string(r.stats.backend), r.cluster_count,
+              r.noise_count(),
+              100.0 * static_cast<double>(r.noise_count()) /
                   static_cast<double>(dataset.size()),
-              r.clustering.timings.total_seconds * 1e3);
+              r.seconds * 1e3);
   return 0;
 }

@@ -1,33 +1,42 @@
 #!/usr/bin/env bash
-# Emit a machine-readable perf snapshot of the BVH traversal hot path.
+# Emit a machine-readable perf snapshot of the BVH traversal hot path and
+# the session-API ε-sweep.
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [output.json]
-#   scripts/bench_snapshot.sh build/release BENCH_PR4.json
+#   scripts/bench_snapshot.sh build/release BENCH_PR5.json
 #
 # Runs the binary/wide/quantized micro sweeps of bench_micro_bvh
 # (google-benchmark JSON) for BOTH geometry modes — the sphere-mode
 # QuerySweep1M trio and the §VI-C triangle-mode TriangleSweep/1000000 trio
-# — plus the width sweep of bench_breakdown (CSV), then merges everything
-# into one JSON document.  Fails if either headline regresses below its
-# recorded floor, so the perf harness doubles as a regression gate:
+# — plus the session-vs-rebuild ε-sweep of bench_micro_sweep and the width
+# sweep of bench_breakdown (CSV), then merges everything into one JSON
+# document.  Fails if any headline regresses below its recorded floor, so
+# the perf harness doubles as a regression gate:
 #   * sphere mode: wide must stay >= 1.5x the binary walk (PR 3 floor);
 #   * triangle mode: wide must BEAT the binary walk (>= 1.10x; the margin
 #     is structurally smaller than sphere mode's because the exact
 #     Moller-Trumbore tests are width-invariant work on top of the
-#     traversal — see docs/BENCHMARKS.md).
+#     traversal — see docs/BENCHMARKS.md);
+#   * session sweep: rtd::Clusterer::sweep must stay >= 1.3x over
+#     rebuild-per-eps on the BVH-backed backends (PR 5 floor — the index
+#     is built once and refit per step, and one shared counting launch
+#     serves every ladder value's phase 1).
 set -euo pipefail
 
 build_dir="${1:-build/release}"
-out_file="${2:-BENCH_PR4.json}"
+out_file="${2:-BENCH_PR5.json}"
 micro="${build_dir}/bench/bench_micro_bvh"
+sweep="${build_dir}/bench/bench_micro_sweep"
 breakdown="${build_dir}/bench/bench_breakdown"
 
-if [[ ! -x "${micro}" ]]; then
-  echo "error: ${micro} not found (configure with system google-benchmark" \
-       "and build first: cmake --preset release && cmake --build" \
-       "--preset release)" >&2
-  exit 1
-fi
+for bin in "${micro}" "${sweep}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not found (configure with system google-benchmark" \
+         "and build first: cmake --preset release && cmake --build" \
+         "--preset release)" >&2
+    exit 1
+  fi
+done
 
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "${tmp_dir}"' EXIT
@@ -40,32 +49,42 @@ echo "== bench_micro_bvh (binary/wide/quantized sweeps, both geometries)"
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json >"${tmp_dir}/micro.json"
 
+echo "== bench_micro_sweep (session refit vs rebuild-per-eps, 60K points)"
+"${sweep}" \
+  --benchmark_filter='EpsSweep.*/60000$|MinPtsRerun.*/60000$' \
+  --benchmark_repetitions="${BENCH_REPS:-3}" \
+  --benchmark_min_time="${BENCH_MIN_TIME:-0.25}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"${tmp_dir}/sweep.json"
+
 echo "== bench_breakdown (engine-level width sweep)"
 "${breakdown}" --csv --reps "${BENCH_REPS:-3}" >"${tmp_dir}/breakdown.csv"
 
-python3 - "${tmp_dir}/micro.json" "${tmp_dir}/breakdown.csv" "${out_file}" \
-  <<'PYEOF'
+python3 - "${tmp_dir}/micro.json" "${tmp_dir}/sweep.json" \
+  "${tmp_dir}/breakdown.csv" "${out_file}" <<'PYEOF'
 import json
 import sys
 
-micro_path, breakdown_path, out_path = sys.argv[1:4]
+micro_path, sweep_path, breakdown_path, out_path = sys.argv[1:5]
 with open(micro_path) as f:
     micro = json.load(f)
+with open(sweep_path) as f:
+    sweep = json.load(f)
 with open(breakdown_path) as f:
     breakdown_csv = f.read()
 
-def median_time(name):
-    for b in micro["benchmarks"]:
+def median_time(doc, name):
+    for b in doc["benchmarks"]:
         if b["name"] == name + "_median":
-            return b["real_time"]  # in the benchmark's time_unit (us here)
+            return b["real_time"]  # in the benchmark's time_unit
     return None
 
 def ratio(a, b):
     return (a / b) if (a and b) else None
 
-sphere = {w: median_time(f"BM_QuerySweep1M_{w}")
+sphere = {w: median_time(micro, f"BM_QuerySweep1M_{w}")
           for w in ("Binary", "Wide", "Quantized")}
-tri = {w: median_time(f"BM_TriangleSweep_{w}/1000000")
+tri = {w: median_time(micro, f"BM_TriangleSweep_{w}/1000000")
        for w in ("Binary", "Wide", "Quantized")}
 
 sphere_wide = ratio(sphere["Binary"], sphere["Wide"])
@@ -73,8 +92,19 @@ sphere_quant = ratio(sphere["Binary"], sphere["Quantized"])
 tri_wide = ratio(tri["Binary"], tri["Wide"])
 tri_quant = ratio(tri["Binary"], tri["Quantized"])
 
+session_backends = ("bvhrt", "pointbvh", "grid", "densebox")
+session_sweep = {}
+for backend in session_backends:
+    rebuild = median_time(sweep, f"BM_EpsSweepRebuild/{backend}/60000")
+    refit = median_time(sweep, f"BM_EpsSweepSession/{backend}/60000")
+    session_sweep[backend] = {
+        "rebuild_per_eps_ms": rebuild,
+        "session_sweep_ms": refit,
+        "session_speedup": ratio(rebuild, refit),
+    }
+
 snapshot = {
-    "pr": 4,
+    "pr": 5,
     "headline": {
         "sphere_mode": {
             "benchmark": "BM_QuerySweep1M (1M-point uniform cube, "
@@ -98,16 +128,30 @@ snapshot = {
             "target": "wide >= 1.10x (exact triangle tests are "
                       "width-invariant; see docs/BENCHMARKS.md)",
         },
+        "session_sweep": {
+            "benchmark": "BM_EpsSweep{Rebuild,Session} (5-value eps "
+                         "ladder, 60K sparse uniform cube, single core): "
+                         "fresh session per eps vs one Clusterer::sweep "
+                         "(index built once + refit, shared phase-1 "
+                         "counting launch)",
+            "backends": session_sweep,
+            "target": "session >= 1.3x on the BVH backends "
+                      "(bvhrt, pointbvh)",
+        },
     },
     "context": micro.get("context", {}),
     "micro_benchmarks": micro["benchmarks"],
+    "sweep_benchmarks": sweep["benchmarks"],
     "breakdown_width_sweep_csv": breakdown_csv,
 }
 with open(out_path, "w") as f:
     json.dump(snapshot, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path}")
-if None in (sphere_wide, sphere_quant, tri_wide, tri_quant):
+
+gate_ratios = [sphere_wide, sphere_quant, tri_wide, tri_quant] + [
+    session_sweep[b]["session_speedup"] for b in ("bvhrt", "pointbvh")]
+if None in gate_ratios:
     # Fail closed: a renamed benchmark or filter drift must not silently
     # disable the regression gate.
     print("FAIL: headline sweep medians not found in benchmark output",
@@ -117,6 +161,11 @@ print(f"headline: sphere mode wide {sphere_wide:.2f}x / quantized "
       f"{sphere_quant:.2f}x the binary walk")
 print(f"headline: triangle mode wide {tri_wide:.2f}x / quantized "
       f"{tri_quant:.2f}x the binary walk")
+for backend in session_backends:
+    s = session_sweep[backend]["session_speedup"]
+    if s is not None:
+        print(f"headline: session eps-sweep {s:.2f}x over rebuild-per-eps "
+              f"on {backend}")
 if sphere_wide < 1.5:
     print("FAIL: sphere-mode wide speedup below the 1.5x floor",
           file=sys.stderr)
@@ -125,4 +174,9 @@ if tri_wide < 1.10:
     print("FAIL: triangle-mode wide walk regressed against the binary walk "
           "(floor 1.10x)", file=sys.stderr)
     sys.exit(1)
+for backend in ("bvhrt", "pointbvh"):
+    if session_sweep[backend]["session_speedup"] < 1.3:
+        print(f"FAIL: session eps-sweep below the 1.3x floor on {backend}",
+              file=sys.stderr)
+        sys.exit(1)
 PYEOF

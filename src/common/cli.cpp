@@ -1,0 +1,36 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace rtd::cli {
+
+std::optional<index::IndexKind> backend_flag(const Flags& flags,
+                                             index::IndexKind fallback,
+                                             const char* name) {
+  if (!flags.has(name)) return fallback;
+  const std::string value = flags.get(name, "");
+  const auto parsed = index::parse_index_kind(value);
+  if (!parsed) {
+    std::fprintf(stderr, "unknown --%s '%s' (choices: %s)\n", name,
+                 value.c_str(), kBackendChoices);
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+std::optional<rt::TraversalWidth> width_flag(const Flags& flags,
+                                             rt::TraversalWidth fallback,
+                                             const char* name) {
+  if (!flags.has(name)) return fallback;
+  const std::string value = flags.get(name, "");
+  rt::TraversalWidth parsed;
+  if (!rt::parse_traversal_width(value.c_str(), parsed)) {
+    std::fprintf(stderr, "unknown --%s '%s' (choices: %s)\n", name,
+                 value.c_str(), kWidthChoices);
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace rtd::cli

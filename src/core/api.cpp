@@ -1,48 +1,17 @@
 #include "core/api.hpp"
 
-#include <stdexcept>
-#include <utility>
-
-#include "common/timer.hpp"
-#include "dbscan/engine.hpp"
-
 namespace rtd {
 
 ClusterResult cluster(std::span<const geom::Vec3> points, float eps,
                       std::uint32_t min_pts, index::IndexKind backend) {
-  if (eps <= 0.0f) {
-    throw std::invalid_argument("rtd::cluster: eps must be positive");
-  }
-  if (min_pts == 0) {
-    throw std::invalid_argument("rtd::cluster: min_pts must be >= 1");
-  }
-  dbscan::require_finite(points);
-  if (points.empty()) return {};
-
-  const dbscan::Params params{eps, min_pts, backend};
-  const index::IndexKind kind = backend == index::IndexKind::kAuto
-                                    ? index::choose_index_kind(points, eps)
-                                    : backend;
-
-  if (kind == index::IndexKind::kBvhRt) {
-    // The paper's full pipeline (keeps its launch statistics and the
-    // phase-timing breakdown the RT benches consume).
-    core::RtDbscanResult r = core::rt_dbscan(points, params);
-    return ClusterResult{std::move(r.clustering.labels),
-                         std::move(r.clustering.is_core),
-                         r.clustering.cluster_count,
-                         r.clustering.timings.total_seconds};
-  }
-
-  Timer total;
-  const auto index = index::make_index(points, eps, kind);
-  dbscan::IndexEngineOptions options;
-  options.early_exit = true;  // backends that cannot stop simply ignore it
-  dbscan::IndexEngineResult run =
-      dbscan::cluster_with_index(*index, params, options);
-  return ClusterResult{std::move(run.clustering.labels),
-                       std::move(run.clustering.is_core),
-                       run.clustering.cluster_count, total.seconds()};
+  // A throwaway BORROWING session: no copy of the caller's points, and
+  // one-shot callers keep the early-exit phase-1 optimization (sessions
+  // default it off to keep counts reusable, which a single run does not
+  // need).  The result is MOVED out — no O(n) copies on the way back.
+  Clusterer session = Clusterer::borrowing(
+      points, Options().with_backend(backend).with_early_exit(true));
+  (void)session.run(eps, min_pts);
+  return session.take_result();
 }
 
 }  // namespace rtd

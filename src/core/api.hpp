@@ -5,17 +5,26 @@
 //   #include "core/api.hpp"
 //
 //   std::vector<rtd::geom::Vec3> points = ...;        // z = 0 for 2-D data
+//
+//   // One-shot:
 //   auto result = rtd::cluster(points, /*eps=*/0.5f, /*min_pts=*/10);
 //   // result.labels[i] in [0, result.cluster_count) or rtd::kNoise
+//
+//   // Multi-run session (parameter exploration — the index is built once,
+//   // REFIT on eps changes, and neighbor counts are cached across min_pts):
+//   rtd::Clusterer session(points);
+//   rtd::ClusterResult a = session.run(0.5f, 10);   // copy to keep: run()
+//   rtd::ClusterResult b = session.run(0.5f, 20);   // returns a view into
+//   auto curve = session.sweep(eps_values, 10);     // session storage
 //
 //   // Pin the neighbor-query backend instead of the kAuto heuristic:
 //   auto rt = rtd::cluster(points, 0.5f, 10, rtd::index::IndexKind::kBvhRt);
 //
-// For parameter sweeps, baselines, the RT primitive, custom NeighborIndex
-// backends, or the RT device itself, include the specific headers
-// re-exported below.
+// For baselines, the RT primitive, custom NeighborIndex backends, or the RT
+// device itself, include the specific headers re-exported below.
 #pragma once
 
+#include "core/clusterer.hpp"
 #include "core/rt_dbscan.hpp"
 #include "core/rt_find_neighbors.hpp"
 #include "dbscan/core.hpp"
@@ -24,22 +33,11 @@
 
 namespace rtd {
 
-/// Noise label in ClusterResult::labels.
-inline constexpr std::int32_t kNoise = dbscan::kNoiseLabel;
-
-/// Simplified result of cluster().
-struct ClusterResult {
-  /// Cluster id per point in [0, cluster_count), or kNoise.
-  std::vector<std::int32_t> labels;
-  /// Core flag per point (deterministic given eps/minPts).
-  std::vector<std::uint8_t> is_core;
-  /// Number of clusters found; every id below it is used.
-  std::uint32_t cluster_count = 0;
-  /// Wall-clock seconds, index build included.
-  double seconds = 0.0;
-};
-
 /// Cluster `points` with DBSCAN(eps, min_pts).
+///
+/// A thin wrapper over a throwaway rtd::Clusterer session — use the session
+/// directly when you will run more than once on the same data (parameter
+/// sweeps reuse the index; this function rebuilds it every call).
 ///
 /// `backend` selects the neighbor-index backend answering the ε-queries
 /// (see index::IndexKind and docs/ARCHITECTURE.md).  The default kAuto
@@ -47,6 +45,11 @@ struct ClusterResult {
 /// pipeline.  All backends produce equivalent clusterings (identical core
 /// points and clusters; border-point ties may resolve differently, as
 /// DBSCAN permits).
+///
+/// Note: this wrapper enables the early-exit phase-1 optimization, so
+/// this run's neighbor_counts are capped at its min_pts - 1 on backends
+/// whose traversal can stop early.  Use a Clusterer with the default
+/// Options::early_exit = false when you need exact counts.
 ClusterResult cluster(std::span<const geom::Vec3> points, float eps,
                       std::uint32_t min_pts,
                       index::IndexKind backend = index::IndexKind::kAuto);

@@ -1,0 +1,552 @@
+#include "core/clusterer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/timer.hpp"
+#include "dbscan/engine.hpp"
+
+namespace rtd {
+
+namespace {
+
+using geom::Vec3;
+using index::IndexKind;
+
+void validate_eps(float eps) {
+  // NaN fails every comparison, so test the accepting condition: a NaN or
+  // +inf radius must throw, not silently build a degenerate index.
+  if (!(eps > 0.0f) || !std::isfinite(eps)) {
+    throw std::invalid_argument("Clusterer: eps must be positive and finite");
+  }
+}
+
+void validate_run_params(float eps, std::uint32_t min_pts) {
+  validate_eps(eps);
+  if (min_pts == 0) {
+    throw std::invalid_argument("Clusterer: min_pts must be >= 1");
+  }
+}
+
+}  // namespace
+
+struct Clusterer::Impl {
+  /// Owned storage (empty for borrowing sessions) and the view every
+  /// internal consumer reads.  `pts` aliases `storage` when owning.
+  std::vector<Vec3> storage;
+  std::span<const Vec3> pts;
+  Options opts;
+
+  // --- sphere geometry: the NeighborIndex session state -------------------
+  std::unique_ptr<index::NeighborIndex> index;  ///< built at the first run
+  IndexKind resolved = IndexKind::kAuto;  ///< kAuto pinned at first build
+  float index_eps = 0.0f;
+  std::vector<std::uint32_t> order;  ///< query launch order (fixed points)
+
+  // --- triangle geometry (§VI-C): delegate to the RT runner ---------------
+  std::optional<core::RtDbscanRunner> runner;
+
+  // Neighbor-count cache: counts are a pure function of (points, eps), so
+  // they survive index refits/rebuilds and min_pts changes at the same eps.
+  std::vector<std::uint32_t> counts;
+  bool counts_valid = false;
+  float counts_eps = 0.0f;
+  std::uint32_t counts_cap = index::kNoCap;  ///< kNoCap = exact
+
+  // Reusable engine workspace: warm run() calls allocate nothing.
+  std::optional<dsu::AtomicDisjointSet> dsu;
+  std::vector<std::atomic<std::uint8_t>> claimed;
+  std::vector<std::int32_t> root_scratch;
+  std::vector<std::uint32_t> csr_cursor;
+
+  // sweep() scratch: the shared multi-eps counting pass, laid out
+  // point-major (sweep_counts[i * k + v]) so one query's k ladder
+  // counters share a cache line in the per-neighbor hot loop.
+  std::vector<std::uint32_t> sweep_counts;
+  std::vector<float> sweep_eps2;
+
+  ClusterResult result;
+
+  struct EnsureStats {
+    bool rebuilt = false;
+    bool refitted = false;
+    double seconds = 0.0;
+  };
+
+  [[nodiscard]] index::IndexBuildOptions build_options() const {
+    index::IndexBuildOptions o;
+    o.build.width = opts.width;
+    o.threads = opts.threads;
+    return o;
+  }
+
+  [[nodiscard]] core::RtDbscanOptions runner_options() const {
+    core::RtDbscanOptions o;
+    o.geometry = core::GeometryMode::kTriangles;
+    o.triangle_subdivisions = opts.triangle_subdivisions;
+    o.reorder_queries = opts.reorder_queries;
+    o.device.build.width = opts.width;
+    o.device.threads = opts.threads;
+    return o;
+  }
+
+  /// The traversal layout RunStats reports: the resolved layout of the
+  /// tree-backed backends, kBinary for the others (no BVH walk).  Called
+  /// only after ensure_index(), so the accel exists and is the source of
+  /// truth for the triangle count (its guards may drop degenerate inputs).
+  [[nodiscard]] rt::TraversalWidth stats_width() const {
+    if (opts.geometry == core::GeometryMode::kTriangles) {
+      return rt::resolved_traversal_width(opts.width, runner->prim_count());
+    }
+    return resolved == IndexKind::kPointBvh || resolved == IndexKind::kBvhRt
+               ? rt::resolved_traversal_width(opts.width, pts.size())
+               : rt::TraversalWidth::kBinary;
+  }
+
+  /// Make the session index answer queries at `eps`: build it on the first
+  /// call, REFIT in place where the backend supports it, rebuild where it
+  /// does not.  Records what happened and what it cost.
+  EnsureStats ensure_index(float eps) {
+    EnsureStats es;
+    if (opts.geometry == core::GeometryMode::kTriangles) {
+      if (!runner.has_value()) {
+        Timer t;
+        runner.emplace(std::vector<Vec3>(pts.begin(), pts.end()), eps,
+                       runner_options());
+        resolved = IndexKind::kBvhRt;  // triangle mode IS the RT pipeline
+        es.rebuilt = true;
+        es.seconds = t.seconds();
+      } else if (eps != runner->eps()) {
+        Timer t;
+        runner->set_eps(eps);  // rescale + refit, no retessellation
+        es.refitted = true;
+        es.seconds = t.seconds();
+      }
+      return es;
+    }
+    if (!index) {
+      Timer t;
+      resolved = opts.backend == IndexKind::kAuto
+                     ? index::choose_index_kind(pts, eps)
+                     : opts.backend;
+      index = index::make_index(pts, eps, resolved, build_options());
+      order = dbscan::query_launch_order(pts, opts.reorder_queries);
+      index_eps = eps;
+      es.rebuilt = true;
+      es.seconds = t.seconds();
+    } else if (eps != index_eps) {
+      Timer t;
+      if (index->try_set_eps(eps)) {
+        es.refitted = true;
+      } else {
+        index.reset();  // release the old structure before building anew
+        index = index::make_index(pts, eps, resolved, build_options());
+        es.rebuilt = true;
+      }
+      index_eps = eps;
+      es.seconds = t.seconds();
+    }
+    return es;
+  }
+
+  /// Shared epilogue of run() and each sweep() entry, from the ε-neighbor
+  /// counts in `cts` (the session cache for run(), a sweep_counts column
+  /// for sweep() — passed as a span so no intermediate copy is needed):
+  /// core flags, phase 2 over the reusable workspace, label finalization,
+  /// membership table, totals.  `query_eps` is passed to the per-query
+  /// phase-2 calls — it may sit below the index's build ε inside sweep()
+  /// (grid/dense-box radius contract).
+  void finish_run(float query_eps, std::uint32_t min_pts,
+                  std::span<const std::uint32_t> cts, const Timer& total) {
+    ClusterResult& r = result;
+    const std::size_t n = pts.size();
+
+    // Core test: counts exclude self; |N_eps(p)| >= minPts includes it.
+    r.is_core.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      r.is_core[i] = cts[i] + 1 >= min_pts ? 1 : 0;
+    }
+
+    if (!dsu.has_value()) {
+      dsu.emplace(n);
+    } else {
+      dsu->reset();
+    }
+    if (claimed.size() != n) {
+      claimed = std::vector<std::atomic<std::uint8_t>>(n);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      claimed[i].store(0, std::memory_order_relaxed);
+    }
+    r.stats.phase2 = dbscan::index_phase2(*index, query_eps, order,
+                                          r.is_core, *dsu, claimed,
+                                          opts.threads);
+    r.stats.timings.cluster_phase_seconds = r.stats.phase2.seconds;
+
+    r.cluster_count = dbscan::finalize_labels_into(
+        n, [&](std::uint32_t x) { return dsu->find(x); }, r.is_core,
+        r.labels, root_scratch);
+    r.neighbor_counts.assign(cts.begin(), cts.end());
+    build_membership();
+
+    r.stats.timings.total_seconds = total.seconds();
+    r.seconds = r.stats.timings.total_seconds;
+  }
+
+  /// Rebuild result.members / result.member_starts from result.labels: a
+  /// counting sort into cluster buckets, noise last.
+  void build_membership() {
+    ClusterResult& r = result;
+    const std::size_t n = r.labels.size();
+    const std::size_t buckets = static_cast<std::size_t>(r.cluster_count) + 1;
+    r.member_starts.assign(buckets + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t label = r.labels[i];
+      const std::size_t b = label == kNoise
+                                ? buckets - 1
+                                : static_cast<std::size_t>(label);
+      ++r.member_starts[b + 1];
+    }
+    for (std::size_t b = 1; b <= buckets; ++b) {
+      r.member_starts[b] += r.member_starts[b - 1];
+    }
+    r.members.resize(n);
+    csr_cursor.assign(r.member_starts.begin(),
+                      r.member_starts.begin() +
+                          static_cast<std::ptrdiff_t>(buckets));
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t label = r.labels[i];
+      const std::size_t b = label == kNoise
+                                ? buckets - 1
+                                : static_cast<std::size_t>(label);
+      r.members[csr_cursor[b]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+};
+
+namespace {
+
+void validate_options(const Options& options) {
+  if (options.geometry == core::GeometryMode::kTriangles &&
+      options.backend != IndexKind::kAuto &&
+      options.backend != IndexKind::kBvhRt) {
+    throw std::invalid_argument(
+        std::string("Clusterer: triangle geometry (§VI-C) runs the RT "
+                    "pipeline only — backend '") +
+        index::to_string(options.backend) + "' cannot answer it");
+  }
+  if (options.triangle_subdivisions < 0) {
+    throw std::invalid_argument(
+        "Clusterer: triangle_subdivisions must be >= 0");
+  }
+}
+
+}  // namespace
+
+Clusterer::Clusterer(std::vector<Vec3> points, Options options)
+    : impl_(std::make_unique<Impl>()) {
+  dbscan::require_finite(points);
+  validate_options(options);
+  impl_->storage = std::move(points);
+  impl_->pts = impl_->storage;
+  impl_->opts = options;
+}
+
+Clusterer::Clusterer(std::span<const Vec3> points, Options options)
+    : Clusterer(std::vector<Vec3>(points.begin(), points.end()), options) {}
+
+Clusterer Clusterer::borrowing(std::span<const Vec3> points,
+                               Options options) {
+  dbscan::require_finite(points);
+  Clusterer session(std::vector<Vec3>{}, options);  // validates options
+  session.impl_->pts = points;  // rebind the view to the caller's storage
+  return session;
+}
+
+Clusterer::~Clusterer() = default;
+Clusterer::Clusterer(Clusterer&&) noexcept = default;
+Clusterer& Clusterer::operator=(Clusterer&&) noexcept = default;
+
+const ClusterResult& Clusterer::run(float eps, std::uint32_t min_pts) {
+  validate_run_params(eps, min_pts);
+  Impl& im = *impl_;
+  ClusterResult& r = im.result;
+  const std::size_t n = im.pts.size();
+
+  Timer total;
+  r.eps = eps;
+  r.min_pts = min_pts;
+  r.stats = RunStats{};
+  r.stats.geometry = im.opts.geometry;
+  r.stats.backend = im.resolved;
+
+  if (n == 0) {
+    r.labels.clear();
+    r.is_core.clear();
+    r.neighbor_counts.clear();
+    r.members.clear();
+    r.member_starts.assign(2, 0);
+    r.cluster_count = 0;
+    r.seconds = total.seconds();
+    return r;
+  }
+
+  if (im.opts.geometry == core::GeometryMode::kTriangles) {
+    const Impl::EnsureStats es = im.ensure_index(eps);
+    const bool counts_reused = im.runner->counts_cached();
+    core::RtDbscanResult rr = im.runner->run(min_pts);
+    r.labels = std::move(rr.clustering.labels);
+    r.is_core = std::move(rr.clustering.is_core);
+    r.cluster_count = rr.clustering.cluster_count;
+    r.neighbor_counts = std::move(rr.neighbor_counts);
+    r.stats.backend = IndexKind::kBvhRt;
+    r.stats.width = im.stats_width();
+    r.stats.index_rebuilt = es.rebuilt;
+    r.stats.index_refitted = es.refitted;
+    r.stats.counts_reused = counts_reused;
+    r.stats.phase1 = rr.phase1;
+    r.stats.phase2 = rr.phase2;
+    r.stats.timings = rr.clustering.timings;
+    r.stats.timings.index_build_seconds = es.seconds;
+    im.build_membership();
+    r.stats.timings.total_seconds = total.seconds();
+    r.seconds = r.stats.timings.total_seconds;
+    return r;
+  }
+
+  const Impl::EnsureStats es = im.ensure_index(eps);
+  r.stats.backend = im.resolved;
+  r.stats.width = im.stats_width();
+  r.stats.index_rebuilt = es.rebuilt;
+  r.stats.index_refitted = es.refitted;
+  r.stats.timings.index_build_seconds = es.seconds;
+
+  // Phase 1 (core identification) — or the cached-counts fast path.  The
+  // cache survives refits: counts depend only on (points, eps).  Capped
+  // counts (early_exit) still decide the core test for any min_pts whose
+  // threshold min_pts - 1 lies at or below the recorded cap.
+  dbscan::Params params{eps, min_pts, im.resolved};
+  const bool reuse = im.counts_valid && im.counts_eps == eps &&
+                     (im.counts_cap == index::kNoCap ||
+                      min_pts - 1 <= im.counts_cap);
+  if (reuse) {
+    r.stats.counts_reused = true;
+  } else {
+    r.stats.phase1 =
+        dbscan::index_phase1(*im.index, params, im.order,
+                             im.opts.early_exit, im.opts.threads, im.counts);
+    im.counts_valid = true;
+    im.counts_eps = eps;
+    // The RT backend ignores the early-exit hint (OptiX) and returned
+    // exact counts — record them as such so any later min_pts reuses them.
+    im.counts_cap =
+        im.opts.early_exit && im.resolved != IndexKind::kBvhRt
+            ? min_pts - 1
+            : index::kNoCap;
+    r.stats.timings.core_phase_seconds = r.stats.phase1.seconds;
+  }
+
+  im.finish_run(eps, min_pts, im.counts, total);
+  return r;
+}
+
+ClusterResult Clusterer::take_result() { return std::move(impl_->result); }
+
+std::vector<ClusterResult> Clusterer::sweep(std::span<const float> eps_values,
+                                            std::uint32_t min_pts) {
+  Impl& im = *impl_;
+  std::vector<ClusterResult> out;
+  out.reserve(eps_values.size());
+  if (eps_values.empty()) return out;
+  for (const float eps : eps_values) validate_run_params(eps, min_pts);
+
+  // Triangle sessions (and trivially empty ones) sweep by plain reruns —
+  // the runner already refits per step.
+  if (im.opts.geometry == core::GeometryMode::kTriangles ||
+      im.pts.empty()) {
+    for (const float eps : eps_values) out.push_back(run(eps, min_pts));
+    return out;
+  }
+
+  // Shared phase 1: the index is built (or retargeted) ONCE at the
+  // ladder's maximum ε, and a single counting launch buckets every
+  // neighbor's exact d² against all k ladder values at once — a query at
+  // ε_max enumerates a superset of every smaller ε-ball, and the bucket
+  // predicate d² <= ε² is the same test every backend's exact filter
+  // applies, so each column equals a native phase 1 at that ε.  The
+  // per-eps cost that remains is cluster formation; rebuild-per-eps pays
+  // k index builds AND k full counting passes (bench_micro_sweep
+  // measures the gap).  Scratch is O(k·n) — the one deliberate deviation
+  // from the engine's O(n) memory, bounded by the ladder length.
+  const std::size_t n = im.pts.size();
+  const std::size_t k = eps_values.size();
+  const float eps_max =
+      *std::max_element(eps_values.begin(), eps_values.end());
+  const Timer first_entry_timer;  // entry 0 is charged with the shared work
+  const Impl::EnsureStats build = im.ensure_index(eps_max);
+  im.sweep_eps2.resize(k);
+  for (std::size_t v = 0; v < k; ++v) {
+    im.sweep_eps2[v] = eps_values[v] * eps_values[v];
+  }
+  im.sweep_counts.assign(k * n, 0);
+  const std::span<const geom::Vec3> pts = im.pts;
+  const rt::LaunchStats shared_phase1 = rt::parallel_launch(
+      n, im.opts.threads, [&](rt::TraversalStats& stats, std::size_t q) {
+        const std::uint32_t i = im.order[q];
+        std::uint32_t* const buckets = im.sweep_counts.data() + i * k;
+        im.index->query_sphere(
+            pts[i], eps_max, i,
+            [&](std::uint32_t j) {
+              const float d2 = geom::distance_squared(pts[i], pts[j]);
+              for (std::size_t v = 0; v < k; ++v) {
+                if (d2 <= im.sweep_eps2[v]) ++buckets[v];
+              }
+            },
+            stats);
+      });
+
+  for (std::size_t v = 0; v < k; ++v) {
+    const Timer entry_timer;
+    const float eps = eps_values[v];
+    ClusterResult& r = im.result;
+    r.eps = eps;
+    r.min_pts = min_pts;
+    r.stats = RunStats{};
+    r.stats.geometry = im.opts.geometry;
+    r.stats.backend = im.resolved;
+    r.stats.width = im.stats_width();
+
+    // Retarget the index to this ladder value where refit is supported
+    // (the RT scene's radius is baked in, so its phase-2 queries need it).
+    // Where it is not (grid/dense-box), the ε_max build legally serves any
+    // query radius <= its build ε — no rebuild happens in a sweep at all.
+    Impl::EnsureStats step;
+    if (eps != im.index_eps) {
+      const Timer t;
+      if (im.index->try_set_eps(eps)) {
+        im.index_eps = eps;
+        step.refitted = true;
+        step.seconds = t.seconds();
+      }
+    }
+    if (v == 0) {
+      // The first entry is charged with the shared work: the ε_max index
+      // step and the one counting launch that served the whole ladder.
+      step.rebuilt = build.rebuilt;
+      step.refitted = step.refitted || build.refitted;
+      step.seconds += build.seconds;
+      r.stats.phase1 = shared_phase1;
+      r.stats.timings.core_phase_seconds = shared_phase1.seconds;
+    } else {
+      r.stats.counts_reused = true;
+    }
+    r.stats.index_rebuilt = step.rebuilt;
+    r.stats.index_refitted = step.refitted;
+    r.stats.timings.index_build_seconds = step.seconds;
+
+    // Gather this entry's strided counters into the session cache buffer
+    // (one linear pass; the per-neighbor hot loop above stays cache-tight).
+    im.counts.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      im.counts[i] = im.sweep_counts[i * k + v];
+    }
+    im.finish_run(eps, min_pts, im.counts,
+                  v == 0 ? first_entry_timer : entry_timer);
+    out.push_back(r);
+  }
+  // im.counts now holds the LAST entry's exact counts — keep them as the
+  // session count cache (the multi-count pass never caps).
+  im.counts_valid = true;
+  im.counts_eps = eps_values.back();
+  im.counts_cap = index::kNoCap;
+  return out;
+}
+
+std::vector<std::uint32_t> Clusterer::query_neighbors(const Vec3& center,
+                                                      float eps) {
+  validate_eps(eps);
+  Impl& im = *impl_;
+  std::vector<std::uint32_t> ids;
+  if (im.opts.geometry == core::GeometryMode::kTriangles ||
+      im.pts.empty()) {
+    // The triangle accel answers finite-ray queries, not point queries —
+    // enumerate exactly instead of faking a ray.
+    const float eps2 = eps * eps;
+    for (std::uint32_t j = 0; j < im.pts.size(); ++j) {
+      if (geom::distance_squared(center, im.pts[j]) <= eps2) {
+        ids.push_back(j);
+      }
+    }
+    return ids;
+  }
+  im.ensure_index(eps);
+  rt::TraversalStats stats;
+  im.index->query_sphere(center, eps, index::kNoSelf,
+                         [&](std::uint32_t j) { ids.push_back(j); }, stats);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<std::uint32_t> Clusterer::query_neighbors(std::uint32_t i,
+                                                      float eps) {
+  Impl& im = *impl_;
+  if (i >= im.pts.size()) {
+    throw std::invalid_argument(
+        "Clusterer: query_neighbors point index out of range");
+  }
+  std::vector<std::uint32_t> ids = query_neighbors(im.pts[i], eps);
+  ids.erase(std::remove(ids.begin(), ids.end(), i), ids.end());
+  return ids;
+}
+
+core::KdistResult Clusterer::kdist(std::uint32_t k) const {
+  const Impl& im = *impl_;
+  if (k == 0) {
+    // Ester et al.'s default: k = 2 * dims.  Flat z = const data is 2-D.
+    bool flat = true;
+    for (const Vec3& p : im.pts) {
+      if (p.z != im.pts.front().z) {
+        flat = false;
+        break;
+      }
+    }
+    k = flat ? 4 : 6;
+  }
+  return core::kdist_graph(im.pts, k);
+}
+
+core::RtKnnResult Clusterer::knn(std::uint32_t k) const {
+  core::RtKnnOptions o;
+  o.device.build.width = impl_->opts.width;
+  o.device.threads = impl_->opts.threads;
+  return core::rt_knn(impl_->pts, k, o);
+}
+
+std::span<const Vec3> Clusterer::points() const { return impl_->pts; }
+const Options& Clusterer::options() const { return impl_->opts; }
+index::IndexKind Clusterer::backend() const { return impl_->resolved; }
+
+std::optional<float> Clusterer::current_eps() const {
+  const Impl& im = *impl_;
+  if (im.opts.geometry == core::GeometryMode::kTriangles) {
+    if (!im.runner.has_value()) return std::nullopt;
+    return im.runner->eps();
+  }
+  if (!im.index) return std::nullopt;
+  return im.index_eps;
+}
+
+bool Clusterer::counts_cached() const {
+  const Impl& im = *impl_;
+  if (im.opts.geometry == core::GeometryMode::kTriangles) {
+    return im.runner.has_value() && im.runner->counts_cached();
+  }
+  // The cache is keyed on ε alone (counts are a pure function of points
+  // and ε) — it can outlive the index's current build ε, e.g. after a
+  // sweep on a rebuild-only backend.
+  return im.counts_valid;
+}
+
+}  // namespace rtd

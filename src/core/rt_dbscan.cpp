@@ -348,6 +348,11 @@ bool RtDbscanRunner::counts_cached() const { return impl_->counts_cached; }
 float RtDbscanRunner::eps() const { return impl_->eps; }
 std::size_t RtDbscanRunner::size() const { return impl_->points.size(); }
 
+std::size_t RtDbscanRunner::prim_count() const {
+  return impl_->index.has_value() ? impl_->index->accel().size()
+                                  : impl_->tri_accel->triangle_count();
+}
+
 RtDbscanResult RtDbscanRunner::run(std::uint32_t min_pts) {
   if (min_pts == 0) {
     throw std::invalid_argument("RtDbscanRunner: min_pts must be >= 1");

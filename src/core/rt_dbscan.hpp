@@ -99,6 +99,12 @@ class RtDbscanRunner {
   [[nodiscard]] float eps() const;
   [[nodiscard]] std::size_t size() const;
 
+  /// Primitive count of the session's acceleration structure: one sphere
+  /// per point in sphere mode, the actual tessellated triangle count in
+  /// triangle mode (the accel is the source of truth — tessellation
+  /// guards may drop degenerate inputs).
+  [[nodiscard]] std::size_t prim_count() const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

@@ -122,11 +122,16 @@ struct Clustering {
 /// Convert "same DSU set" parents into dense cluster labels, keeping only
 /// sets that contain at least one core point (pure-noise singletons get
 /// kNoiseLabel).  Shared by every union-find based implementation.
+/// Core form: writes `labels`, returns the cluster count.  `root_label` is
+/// caller-owned scratch (resized to n here) — the session API passes
+/// persistent buffers so warm reruns stay allocation-free.
 template <typename FindFn>
-void finalize_labels(std::size_t n, FindFn&& find,
-                     std::span<const std::uint8_t> is_core, Clustering& out) {
-  out.labels.assign(n, kNoiseLabel);
-  std::vector<std::int32_t> root_label(n, kNoiseLabel);
+std::uint32_t finalize_labels_into(std::size_t n, FindFn&& find,
+                                   std::span<const std::uint8_t> is_core,
+                                   std::vector<std::int32_t>& labels,
+                                   std::vector<std::int32_t>& root_label) {
+  labels.assign(n, kNoiseLabel);
+  root_label.assign(n, kNoiseLabel);
   std::int32_t next = 0;
   // First pass: label every root that owns a core point.
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -137,9 +142,17 @@ void finalize_labels(std::size_t n, FindFn&& find,
   // Second pass: propagate to members (border points share the root).
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint32_t root = find(i);
-    out.labels[i] = root_label[root];
+    labels[i] = root_label[root];
   }
-  out.cluster_count = static_cast<std::uint32_t>(next);
+  return static_cast<std::uint32_t>(next);
+}
+
+template <typename FindFn>
+void finalize_labels(std::size_t n, FindFn&& find,
+                     std::span<const std::uint8_t> is_core, Clustering& out) {
+  std::vector<std::int32_t> root_label;
+  out.cluster_count = finalize_labels_into(n, std::forward<FindFn>(find),
+                                           is_core, out.labels, root_label);
 }
 
 }  // namespace rtd::dbscan

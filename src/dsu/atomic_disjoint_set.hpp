@@ -24,6 +24,15 @@ class AtomicDisjointSet {
 
   [[nodiscard]] std::size_t size() const { return parent_.size(); }
 
+  /// Return every element to its own singleton set without reallocating —
+  /// the session API reuses one DSU across clustering runs (quiescent only:
+  /// no concurrent unite/find during the reset).
+  void reset() {
+    for (std::uint32_t i = 0; i < parent_.size(); ++i) {
+      parent_[i].store(i, std::memory_order_relaxed);
+    }
+  }
+
   /// Current representative of x (with path halving).  Safe to call
   /// concurrently with unite(); the result is a set member that is a root at
   /// some point during the call.

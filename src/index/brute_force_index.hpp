@@ -39,6 +39,14 @@ class BruteForceIndex final : public NeighborIndex {
       rt::TraversalStats& stats, std::uint32_t stop_at) const override;
 
  private:
+  /// Refit contract: trivially satisfiable — there is no structure, only
+  /// the recorded build ε.  Reached through NeighborIndex::try_set_eps,
+  /// which owns the eps validation.
+  bool do_try_set_eps(float eps) override {
+    eps_ = eps;
+    return true;
+  }
+
   std::span<const geom::Vec3> points_;
   float eps_;
 };

@@ -57,6 +57,15 @@ class BvhRtIndex final : public NeighborIndex {
   [[nodiscard]] const rt::Context& context() const { return ctx_; }
 
  private:
+  /// Refit contract: always satisfiable — set_radius() rescales the sphere
+  /// scene and refits every traversal layout in place, 5-10x cheaper than
+  /// a rebuild (§VI-B).  Reached through NeighborIndex::try_set_eps, which
+  /// owns the eps validation.
+  bool do_try_set_eps(float eps) override {
+    accel_.set_radius(eps);
+    return true;
+  }
+
   void require_radius(float eps) const;
 
   rt::Context ctx_;

@@ -1,6 +1,7 @@
 #include "index/neighbor_index.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -14,6 +15,16 @@
 #include "rt/parallel_launch.hpp"
 
 namespace rtd::index {
+
+bool NeighborIndex::try_set_eps(float eps) {
+  // The ε argument is validated here, once, so a bad sweep value fails
+  // loudly on every backend — supported or not.  NaN fails every
+  // comparison, hence the accepting-condition form.
+  if (!(eps > 0.0f) || !std::isfinite(eps)) {
+    throw std::invalid_argument("try_set_eps: eps must be positive and finite");
+  }
+  return do_try_set_eps(eps);
+}
 
 std::uint32_t NeighborIndex::query_count(const geom::Vec3& center, float eps,
                                          std::uint32_t self,

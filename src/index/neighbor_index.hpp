@@ -76,6 +76,24 @@ class NeighborIndex {
   /// accept any radius.  A violation throws std::invalid_argument.
   [[nodiscard]] virtual float build_eps() const = 0;
 
+  /// Retarget the index to a new build ε WITHOUT a rebuild, where the
+  /// backend supports it.  Returns true on success — build_eps() now
+  /// reports `eps` and queries at `eps` satisfy the radius constraint —
+  /// and false (leaving the index untouched) where only a rebuild can
+  /// change ε; the caller then rebuilds via make_index().  This is the
+  /// refit contract the session API (rtd::Clusterer) sweeps ε through:
+  ///   * kBvhRt    — true: the ε-sphere scene REFITS in place (accel
+  ///                 update; the BVH topology depends only on the centers);
+  ///   * kPointBvh — true: the tree is over the bare points, radius-
+  ///                 agnostic — only the recorded ε changes;
+  ///   * kBruteForce — true: no structure at all;
+  ///   * kGrid / kDenseBox — false: the cell edge/diagonal IS the build ε,
+  ///                 so a new ε means re-binning every point (rebuild).
+  /// `eps` must be positive (std::invalid_argument otherwise, even on
+  /// backends that return false) — validated here once, so backend
+  /// overrides (do_try_set_eps) cannot forget the check.
+  bool try_set_eps(float eps);
+
   /// Visit every dataset index j != self with |points[j] - center| <= eps
   /// (inclusive).  Exactly one query's worth of work counters (one "ray")
   /// accumulates into `stats`.
@@ -107,6 +125,14 @@ class NeighborIndex {
   /// must be safe for that.  `threads` = 0 uses all hardware threads.
   virtual rt::LaunchStats query_all(float eps, PairVisitor visit,
                                     int threads = 0) const;
+
+ protected:
+  /// Backend hook behind try_set_eps(): `eps` is already validated
+  /// positive.  Default: refit unsupported — the caller rebuilds.
+  virtual bool do_try_set_eps(float eps) {
+    (void)eps;
+    return false;
+  }
 };
 
 /// Build configuration shared by the tree-based backends.

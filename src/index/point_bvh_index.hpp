@@ -51,6 +51,15 @@ class PointBvhIndex final : public NeighborIndex {
   }
 
  private:
+  /// Refit contract: always satisfiable — the tree is over the bare points
+  /// (the query volume carries the radius), so retargeting ε only updates
+  /// the recorded build ε.  One tree serves every sweep value.  Reached
+  /// through NeighborIndex::try_set_eps, which owns the eps validation.
+  bool do_try_set_eps(float eps) override {
+    eps_ = eps;
+    return true;
+  }
+
   std::span<const geom::Vec3> points_;
   float eps_;
   rt::Bvh bvh_;

@@ -61,6 +61,18 @@ inline constexpr std::size_t kWideBvhMinPrims = 4096;
   return width == TraversalWidth::kWideQuantized;
 }
 
+/// The concrete layout a tree-owning structure walks for `width` at
+/// `prim_count` primitives: kBinary, kWide or kWideQuantized (never
+/// kAuto).  Defined via use_wide_traversal/use_quantized_nodes so it
+/// cannot drift from the collapse decision the owners actually make;
+/// RunStats::width in the session API reports this.
+[[nodiscard]] inline TraversalWidth resolved_traversal_width(
+    TraversalWidth width, std::size_t prim_count) {
+  if (!use_wide_traversal(width, prim_count)) return TraversalWidth::kBinary;
+  return use_quantized_nodes(width) ? TraversalWidth::kWideQuantized
+                                    : TraversalWidth::kWide;
+}
+
 /// Upper bound on the traversal stack for a wide walk: a pop can push up to
 /// (arity - 1) net entries, and the collapse never produces a tree deeper
 /// than the 64-level bound the binary builders guarantee.

@@ -1,0 +1,51 @@
+// Installed-package consumer: exercises the session API end to end through
+// the exported target only.  Exits non-zero on any contract violation so
+// the CI job fails loudly.
+#include <cstdio>
+#include <vector>
+
+#include "core/api.hpp"
+
+int main() {
+  // A tiny hand-checked dataset: two 4-point squares and one far outlier
+  // (eps=1.5, minPts=3 -> two clusters, one noise point).
+  std::vector<rtd::geom::Vec3> points = {
+      {0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0},
+      {10, 10, 0}, {11, 10, 0}, {10, 11, 0}, {11, 11, 0},
+      {100, 100, 0},
+  };
+
+  rtd::Clusterer session(points);
+  // Copy: run() returns a view into session storage that the sweep()
+  // below overwrites.
+  const rtd::ClusterResult first = session.run(1.5f, 3);
+  if (first.cluster_count != 2 || first.noise_count() != 1) {
+    std::fprintf(stderr, "FAIL: expected 2 clusters + 1 noise, got %u + %zu\n",
+                 first.cluster_count, first.noise_count());
+    return 1;
+  }
+  if (first.members_of(first.labels[0]).size() != 4 ||
+      first.noise()[0] != 8) {
+    std::fprintf(stderr, "FAIL: membership views inconsistent\n");
+    return 1;
+  }
+
+  // Sweep + refit/rebuild bookkeeping through the installed package.
+  const std::vector<float> ladder = {1.2f, 1.5f, 2.0f};
+  const auto curve = session.sweep(ladder, 3);
+  if (curve.size() != ladder.size()) {
+    std::fprintf(stderr, "FAIL: sweep size\n");
+    return 1;
+  }
+
+  // The legacy one-shot wrapper still works.
+  const rtd::ClusterResult one_shot = rtd::cluster(points, 1.5f, 3);
+  if (one_shot.cluster_count != first.cluster_count) {
+    std::fprintf(stderr, "FAIL: wrapper disagrees with session\n");
+    return 1;
+  }
+
+  std::printf("consumer OK: %u clusters, backend %s\n", first.cluster_count,
+              rtd::index::to_string(first.stats.backend));
+  return 0;
+}

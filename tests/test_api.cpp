@@ -84,5 +84,25 @@ TEST(Api, ReportsElapsedTime) {
   EXPECT_GT(r.seconds, 0.0);
 }
 
+TEST(Api, WrapperCarriesSessionEraFields) {
+  // rtd::cluster() is a thin wrapper over a throwaway rtd::Clusterer; the
+  // richer result fields (stats, membership views, neighbor counts) come
+  // through it too.
+  const auto pts = two_squares_and_outlier();
+  const ClusterResult r = cluster(pts, 1.5f, 3);
+  EXPECT_EQ(r.eps, 1.5f);
+  EXPECT_EQ(r.min_pts, 3u);
+  EXPECT_NE(r.stats.backend, index::IndexKind::kAuto);
+  EXPECT_TRUE(r.stats.index_rebuilt);
+  EXPECT_FALSE(r.stats.index_refitted);
+  ASSERT_EQ(r.cluster_count, 2u);
+  EXPECT_EQ(r.members_of(r.labels[0]).size(), 4u);
+  EXPECT_EQ(r.members_of(r.labels[4]).size(), 4u);
+  ASSERT_EQ(r.noise().size(), 1u);
+  EXPECT_EQ(r.noise()[0], 8u);
+  ASSERT_EQ(r.neighbor_counts.size(), pts.size());
+  EXPECT_EQ(r.neighbor_counts[8], 0u);  // the outlier has no neighbors
+}
+
 }  // namespace
 }  // namespace rtd

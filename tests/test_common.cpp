@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/flags.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
@@ -166,6 +167,28 @@ TEST(Flags, BooleanValueForms) {
   EXPECT_TRUE(flags.get_bool("a", false));
   EXPECT_FALSE(flags.get_bool("b", true));
   EXPECT_TRUE(flags.get_bool("c", false));
+}
+
+TEST(Cli, BackendAndWidthFlagsParseShareOneSpelling) {
+  // The shared helpers are the single source of truth for the --backend /
+  // --width CLI spellings across examples and benches.
+  const char* argv[] = {"prog", "--backend", "pointbvh", "--width",
+                        "quantized"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli::backend_flag(flags), index::IndexKind::kPointBvh);
+  EXPECT_EQ(cli::width_flag(flags), rt::TraversalWidth::kWideQuantized);
+
+  const char* none[] = {"prog"};
+  Flags empty(1, const_cast<char**>(none));
+  EXPECT_EQ(cli::backend_flag(empty), index::IndexKind::kAuto);
+  EXPECT_EQ(cli::backend_flag(empty, index::IndexKind::kGrid),
+            index::IndexKind::kGrid);
+  EXPECT_EQ(cli::width_flag(empty), rt::TraversalWidth::kAuto);
+
+  const char* bad[] = {"prog", "--backend=kdtree", "--width=narrow"};
+  Flags unknown(3, const_cast<char**>(bad));
+  EXPECT_EQ(cli::backend_flag(unknown), std::nullopt);
+  EXPECT_EQ(cli::width_flag(unknown), std::nullopt);
 }
 
 TEST(Table, FormatsCells) {

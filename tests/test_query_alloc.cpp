@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "core/clusterer.hpp"
 #include "data/generators.hpp"
 #include "index/neighbor_index.hpp"
 #include "index/query_scratch.hpp"
@@ -101,6 +102,30 @@ TEST(QueryAllocation, WarmSingleQueriesAllocateNothing) {
     queries();
     EXPECT_EQ(allocations_during(queries), 0u) << index->name();
     EXPECT_GT(sum, 0u);
+  }
+}
+
+TEST(QueryAllocation, WarmClustererRunsAllocateNothing) {
+  // The session API's warm path is arena-only: once the index is built and
+  // one run per parameter set has warmed every internal buffer (engine
+  // workspace, result vectors, membership table) to its high-water mark,
+  // further run() calls — same eps, either min_pts — allocate nothing.
+  const auto dataset = data::taxi_gps(10000, 79);
+  const float eps = 0.15f;
+  for (const IndexKind kind : kAllIndexKinds) {
+    Clusterer session(dataset.points, Options()
+                                          .with_backend(kind)
+                                          .with_threads(1));
+    std::uint64_t clusters = 0;
+    const auto pass = [&] {
+      clusters += session.run(eps, 5).cluster_count;
+      clusters += session.run(eps, 12).cluster_count;
+    };
+    pass();  // cold: index build + buffer growth
+    pass();  // warm every min_pts-specific high-water mark
+    const std::uint64_t during = allocations_during(pass);
+    EXPECT_EQ(during, 0u) << to_string(kind);
+    EXPECT_GT(clusters, 0u) << to_string(kind);
   }
 }
 
