@@ -20,16 +20,21 @@
 #   * session sweep: rtd::Clusterer::sweep must stay >= 1.3x over
 #     rebuild-per-eps on the BVH-backed backends (PR 5 floor — the index
 #     is built once and refit per step, and one shared counting launch
-#     serves every ladder value's phase 1).
+#     serves every ladder value's phase 1);
+#   * serving: aggregate QPS of the concurrent snapshot read path at R
+#     reader threads must stay >= 0.9x the single-reader QPS for every
+#     quiescent row (PR 6 floor — the steady-state read path is one atomic
+#     load, so extra readers must never collapse throughput).
 set -euo pipefail
 
 build_dir="${1:-build/release}"
-out_file="${2:-BENCH_PR5.json}"
+out_file="${2:-BENCH_PR6.json}"
 micro="${build_dir}/bench/bench_micro_bvh"
 sweep="${build_dir}/bench/bench_micro_sweep"
 breakdown="${build_dir}/bench/bench_breakdown"
+serving="${build_dir}/bench/bench_serving"
 
-for bin in "${micro}" "${sweep}"; do
+for bin in "${micro}" "${sweep}" "${serving}"; do
   if [[ ! -x "${bin}" ]]; then
     echo "error: ${bin} not found (configure with system google-benchmark" \
          "and build first: cmake --preset release && cmake --build" \
@@ -60,18 +65,27 @@ echo "== bench_micro_sweep (session refit vs rebuild-per-eps, 60K points)"
 echo "== bench_breakdown (engine-level width sweep)"
 "${breakdown}" --csv --reps "${BENCH_REPS:-3}" >"${tmp_dir}/breakdown.csv"
 
+echo "== bench_serving (concurrent snapshot read path: QPS / latency)"
+# The binary itself exits non-zero if a quiescent row drops below the 0.9x
+# floor; the merge step below re-checks from the JSON so the gate cannot be
+# lost to a pipeline typo.
+"${serving}" --json --reps "${BENCH_REPS:-3}" >"${tmp_dir}/serving.json"
+
 python3 - "${tmp_dir}/micro.json" "${tmp_dir}/sweep.json" \
-  "${tmp_dir}/breakdown.csv" "${out_file}" <<'PYEOF'
+  "${tmp_dir}/breakdown.csv" "${tmp_dir}/serving.json" \
+  "${out_file}" <<'PYEOF'
 import json
 import sys
 
-micro_path, sweep_path, breakdown_path, out_path = sys.argv[1:5]
+micro_path, sweep_path, breakdown_path, serving_path, out_path = sys.argv[1:6]
 with open(micro_path) as f:
     micro = json.load(f)
 with open(sweep_path) as f:
     sweep = json.load(f)
 with open(breakdown_path) as f:
     breakdown_csv = f.read()
+with open(serving_path) as f:
+    serving = json.load(f)
 
 def median_time(doc, name):
     for b in doc["benchmarks"]:
@@ -104,7 +118,7 @@ for backend in session_backends:
     }
 
 snapshot = {
-    "pr": 5,
+    "pr": 6,
     "headline": {
         "sphere_mode": {
             "benchmark": "BM_QuerySweep1M (1M-point uniform cube, "
@@ -137,6 +151,16 @@ snapshot = {
             "backends": session_sweep,
             "target": "session >= 1.3x on the BVH backends "
                       "(bvhrt, pointbvh)",
+        },
+        "serving": {
+            "benchmark": "bench_serving (60K-point session, N reader "
+                         "threads draining a shared request queue through "
+                         "the const snapshot path; churn rows add a writer "
+                         "retargeting eps concurrently)",
+            "rows": serving["rows"],
+            "target": "quiescent rows: QPS at R readers >= 0.9x "
+                      "single-reader QPS (churn rows are "
+                      "characterization only)",
         },
     },
     "context": micro.get("context", {}),
@@ -177,6 +201,21 @@ if tri_wide < 1.10:
 for backend in ("bvhrt", "pointbvh"):
     if session_sweep[backend]["session_speedup"] < 1.3:
         print(f"FAIL: session eps-sweep below the 1.3x floor on {backend}",
+              file=sys.stderr)
+        sys.exit(1)
+quiescent = [r for r in serving["rows"] if not r["churn"]]
+if not quiescent:
+    print("FAIL: no quiescent serving rows in bench_serving output",
+          file=sys.stderr)
+    sys.exit(1)
+for row in quiescent:
+    rel = row["qps_vs_single_reader"]
+    print(f"headline: serving {row['backend']} x{row['readers']} readers "
+          f"{row['qps']:.0f} QPS ({rel:.2f}x single-reader, "
+          f"p99 {row['p99_us']:.1f}us)")
+    if rel < 0.9:
+        print(f"FAIL: serving QPS at {row['readers']} readers below the "
+              f"0.9x single-reader floor on {row['backend']}",
               file=sys.stderr)
         sys.exit(1)
 PYEOF

@@ -59,6 +59,29 @@ void parallel_for_ctx(std::size_t n, MakeCtx&& make_ctx, F&& f) {
   }
 }
 
+/// parallel_for with a per-thread accumulator that is REDUCED at the end of
+/// the region: make() constructs each worker's accumulator on that worker's
+/// own stack inside the parallel region, f(acc, i) updates it, and
+/// combine(acc) runs exactly once per worker, serialized.  Unlike handing
+/// workers slots of a caller-owned buffer, no cross-thread storage exists at
+/// all — which makes the pattern safe when several threads run a
+/// parallel-for concurrently (e.g. many serving threads launching query
+/// batches at once) and keeps the hot loop free of false sharing.
+template <typename Make, typename F, typename Combine>
+void parallel_for_accumulate(std::size_t n, Make&& make, F&& f,
+                             Combine&& combine) {
+#pragma omp parallel
+  {
+    auto acc = make();
+#pragma omp for schedule(dynamic, 64) nowait
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      f(acc, static_cast<std::size_t>(i));
+    }
+#pragma omp critical(rtd_parallel_for_accumulate)
+    combine(acc);
+  }
+}
+
 /// Sum a value computed per index over all threads (reduction).
 template <typename F>
 std::uint64_t parallel_count(std::size_t n, F&& predicate) {

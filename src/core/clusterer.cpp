@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -30,20 +31,46 @@ void validate_run_params(float eps, std::uint32_t min_pts) {
   }
 }
 
+void validate_center(const Vec3& center) {
+  // A NaN coordinate fails every distance comparison (garbage "no
+  // neighbors" result) and an infinity can degenerate the retarget — fail
+  // loudly BEFORE the index is touched, like run() does for the dataset.
+  if (!geom::is_finite(center)) {
+    throw std::invalid_argument(
+        "Clusterer: query center has a non-finite coordinate");
+  }
+}
+
 }  // namespace
 
 struct Clusterer::Impl {
-  /// Owned storage (empty for borrowing sessions) and the view every
-  /// internal consumer reads.  `pts` aliases `storage` when owning.
-  std::vector<Vec3> storage;
+  /// Owned storage (an empty vector for borrowing sessions) and the view
+  /// every internal consumer reads.  `pts` aliases `*storage` when owning.
+  /// Shared so snapshots can co-own the points past the session's lifetime.
+  std::shared_ptr<const std::vector<Vec3>> storage;
   std::span<const Vec3> pts;
   Options opts;
 
   // --- sphere geometry: the NeighborIndex session state -------------------
-  std::unique_ptr<index::NeighborIndex> index;  ///< built at the first run
+  /// Built at the first run.  Shared (not unique) so a published
+  /// IndexSnapshot can keep the structure alive after the session swaps to
+  /// a replacement.
+  std::shared_ptr<index::NeighborIndex> index;
   IndexKind resolved = IndexKind::kAuto;  ///< kAuto pinned at first build
   float index_eps = 0.0f;
   std::vector<std::uint32_t> order;  ///< query launch order (fixed points)
+
+  // --- the concurrent serving layer ---------------------------------------
+  // Readers (snapshot(), const query_neighbors/query_batch) take ONE atomic
+  // load in steady state.  publish_mu serializes the slow paths only:
+  // writer index mutation/retargeting and first-snapshot creation.
+  // index_shared (guarded by publish_mu) records whether the CURRENT index
+  // object is aliased by any snapshot — if so, the writer must never mutate
+  // it: it swaps in a freshly built replacement instead, and the old
+  // structure is reclaimed when the last snapshot holder releases it.
+  std::mutex publish_mu;
+  std::atomic<std::shared_ptr<const IndexSnapshot>> published;
+  bool index_shared = false;
 
   // --- triangle geometry (§VI-C): delegate to the RT runner ---------------
   std::optional<core::RtDbscanRunner> runner;
@@ -62,10 +89,13 @@ struct Clusterer::Impl {
   std::vector<std::uint32_t> csr_cursor;
 
   // sweep() scratch: the shared multi-eps counting pass, laid out
-  // point-major (sweep_counts[i * k + v]) so one query's k ladder
-  // counters share a cache line in the per-neighbor hot loop.
+  // point-major (sweep_counts[i * ku + u]) so one query's ladder counters
+  // share a cache line in the per-neighbor hot loop.  Duplicate ladder
+  // values are deduplicated into one column each (sweep_col maps input
+  // position -> column), so the scratch is O(k_unique · n).
   std::vector<std::uint32_t> sweep_counts;
-  std::vector<float> sweep_eps2;
+  std::vector<float> sweep_eps2;          ///< one ε² per UNIQUE ladder value
+  std::vector<std::uint32_t> sweep_col;   ///< input position -> column
 
   ClusterResult result;
 
@@ -128,17 +158,31 @@ struct Clusterer::Impl {
     }
     if (!index) {
       Timer t;
+      const std::lock_guard<std::mutex> lock(publish_mu);
       resolved = opts.backend == IndexKind::kAuto
                      ? index::choose_index_kind(pts, eps)
                      : opts.backend;
       index = index::make_index(pts, eps, resolved, build_options());
       order = dbscan::query_launch_order(pts, opts.reorder_queries);
       index_eps = eps;
+      index_shared = false;
       es.rebuilt = true;
       es.seconds = t.seconds();
     } else if (eps != index_eps) {
       Timer t;
-      if (index->try_set_eps(eps)) {
+      const std::lock_guard<std::mutex> lock(publish_mu);
+      // Unpublish first: new readers re-snapshot the post-retarget index;
+      // in-flight readers' own shared_ptr copies keep the old snapshot
+      // (and through it the old structure) alive until they finish.
+      published.store(nullptr);
+      if (index_shared) {
+        // The current structure may be mid-traversal in a reader right now
+        // — never mutate it.  Swap in a freshly built replacement; the old
+        // one is reclaimed when the last snapshot holder releases it.
+        index = index::make_index(pts, eps, resolved, build_options());
+        index_shared = false;
+        es.rebuilt = true;
+      } else if (index->try_set_eps(eps)) {
         es.refitted = true;
       } else {
         index.reset();  // release the old structure before building anew
@@ -149,6 +193,61 @@ struct Clusterer::Impl {
       es.seconds = t.seconds();
     }
     return es;
+  }
+
+  /// Retarget inside sweep(): prefer a refit; the rebuild-only backends
+  /// (grid/dense-box) deliberately STAY at the ladder-maximum build, which
+  /// legally serves any smaller query radius.  If a snapshot aliases the
+  /// structure (a reader snapped it mid-sweep), the aliased structure is
+  /// abandoned and a replacement built at ε_max — so later, larger ladder
+  /// values stay servable — then refit down to this entry's ε.
+  void sweep_retarget(float eps, float eps_max, EnsureStats& step) {
+    if (eps == index_eps) return;
+    const Timer t;
+    const std::lock_guard<std::mutex> lock(publish_mu);
+    published.store(nullptr);
+    if (index_shared) {
+      index = index::make_index(pts, eps_max, resolved, build_options());
+      index_shared = false;
+      index_eps = eps_max;
+      step.rebuilt = true;
+      if (index->try_set_eps(eps)) {
+        index_eps = eps;
+        step.refitted = true;
+      }
+      step.seconds += t.seconds();
+    } else if (index->try_set_eps(eps)) {
+      index_eps = eps;
+      step.refitted = true;
+      step.seconds += t.seconds();
+    }
+  }
+
+  /// The reader slow path behind snapshot() and the const queries: fetch
+  /// the published snapshot, creating it under publish_mu on first access
+  /// after a (re)build or retarget.  The fast path is the lock-free atomic
+  /// load at the top.
+  [[nodiscard]] std::shared_ptr<const IndexSnapshot> acquire_snapshot() {
+    if (opts.geometry == core::GeometryMode::kTriangles) {
+      throw std::logic_error(
+          "Clusterer: snapshots serve sphere-geometry sessions only (the "
+          "triangle accel is not a point-query structure)");
+    }
+    std::shared_ptr<const IndexSnapshot> snap = published.load();
+    if (snap) return snap;
+    const std::lock_guard<std::mutex> lock(publish_mu);
+    snap = published.load();
+    if (snap) return snap;
+    if (!index) {
+      throw std::logic_error(
+          "Clusterer: no index to snapshot yet — run() or sweep() builds "
+          "it (kAuto needs an eps to resolve against)");
+    }
+    auto created =
+        std::make_shared<const IndexSnapshot>(index, storage, pts, index_eps);
+    published.store(created);
+    index_shared = true;
+    return created;
   }
 
   /// Shared epilogue of run() and each sweep() entry, from the ε-neighbor
@@ -249,8 +348,9 @@ Clusterer::Clusterer(std::vector<Vec3> points, Options options)
     : impl_(std::make_unique<Impl>()) {
   dbscan::require_finite(points);
   validate_options(options);
-  impl_->storage = std::move(points);
-  impl_->pts = impl_->storage;
+  impl_->storage =
+      std::make_shared<const std::vector<Vec3>>(std::move(points));
+  impl_->pts = *impl_->storage;
   impl_->opts = options;
 }
 
@@ -352,7 +452,15 @@ const ClusterResult& Clusterer::run(float eps, std::uint32_t min_pts) {
   return r;
 }
 
-ClusterResult Clusterer::take_result() { return std::move(impl_->result); }
+ClusterResult Clusterer::take_result() {
+  ClusterResult out = std::move(impl_->result);
+  // Reset the moved-from shell to a fresh value: the next run() reallocates
+  // every buffer (nothing aliases the taken copy), and a stray second
+  // take_result() yields a well-formed empty result instead of moved-from
+  // remains with stale scalar fields.
+  impl_->result = ClusterResult{};
+  return out;
+}
 
 std::vector<ClusterResult> Clusterer::sweep(std::span<const float> eps_values,
                                             std::uint32_t min_pts) {
@@ -372,36 +480,46 @@ std::vector<ClusterResult> Clusterer::sweep(std::span<const float> eps_values,
 
   // Shared phase 1: the index is built (or retargeted) ONCE at the
   // ladder's maximum ε, and a single counting launch buckets every
-  // neighbor's exact d² against all k ladder values at once — a query at
+  // neighbor's exact d² against all ladder values at once — a query at
   // ε_max enumerates a superset of every smaller ε-ball, and the bucket
   // predicate d² <= ε² is the same test every backend's exact filter
   // applies, so each column equals a native phase 1 at that ε.  The
   // per-eps cost that remains is cluster formation; rebuild-per-eps pays
   // k index builds AND k full counting passes (bench_micro_sweep
-  // measures the gap).  Scratch is O(k·n) — the one deliberate deviation
-  // from the engine's O(n) memory, bounded by the ladder length.
+  // measures the gap).  Duplicate ladder values share one column (their
+  // counts are identical by definition), so the scratch is O(k_unique·n)
+  // — the one deliberate deviation from the engine's O(n) memory, bounded
+  // by the ladder length.  Every value was validated finite above, so
+  // max_element can never be NaN-driven.
   const std::size_t n = im.pts.size();
   const std::size_t k = eps_values.size();
   const float eps_max =
       *std::max_element(eps_values.begin(), eps_values.end());
   const Timer first_entry_timer;  // entry 0 is charged with the shared work
   const Impl::EnsureStats build = im.ensure_index(eps_max);
-  im.sweep_eps2.resize(k);
+  im.sweep_eps2.clear();
+  im.sweep_col.resize(k);
   for (std::size_t v = 0; v < k; ++v) {
-    im.sweep_eps2[v] = eps_values[v] * eps_values[v];
+    const float eps2 = eps_values[v] * eps_values[v];
+    const auto it =
+        std::find(im.sweep_eps2.begin(), im.sweep_eps2.end(), eps2);
+    im.sweep_col[v] =
+        static_cast<std::uint32_t>(it - im.sweep_eps2.begin());
+    if (it == im.sweep_eps2.end()) im.sweep_eps2.push_back(eps2);
   }
-  im.sweep_counts.assign(k * n, 0);
+  const std::size_t ku = im.sweep_eps2.size();
+  im.sweep_counts.assign(ku * n, 0);
   const std::span<const geom::Vec3> pts = im.pts;
   const rt::LaunchStats shared_phase1 = rt::parallel_launch(
       n, im.opts.threads, [&](rt::TraversalStats& stats, std::size_t q) {
         const std::uint32_t i = im.order[q];
-        std::uint32_t* const buckets = im.sweep_counts.data() + i * k;
+        std::uint32_t* const buckets = im.sweep_counts.data() + i * ku;
         im.index->query_sphere(
             pts[i], eps_max, i,
             [&](std::uint32_t j) {
               const float d2 = geom::distance_squared(pts[i], pts[j]);
-              for (std::size_t v = 0; v < k; ++v) {
-                if (d2 <= im.sweep_eps2[v]) ++buckets[v];
+              for (std::size_t u = 0; u < ku; ++u) {
+                if (d2 <= im.sweep_eps2[u]) ++buckets[u];
               }
             },
             stats);
@@ -421,16 +539,11 @@ std::vector<ClusterResult> Clusterer::sweep(std::span<const float> eps_values,
     // Retarget the index to this ladder value where refit is supported
     // (the RT scene's radius is baked in, so its phase-2 queries need it).
     // Where it is not (grid/dense-box), the ε_max build legally serves any
-    // query radius <= its build ε — no rebuild happens in a sweep at all.
+    // query radius <= its build ε — no rebuild happens in a sweep at all
+    // (unless a concurrent reader snapped the structure mid-sweep; see
+    // sweep_retarget).
     Impl::EnsureStats step;
-    if (eps != im.index_eps) {
-      const Timer t;
-      if (im.index->try_set_eps(eps)) {
-        im.index_eps = eps;
-        step.refitted = true;
-        step.seconds = t.seconds();
-      }
-    }
+    im.sweep_retarget(eps, eps_max, step);
     if (v == 0) {
       // The first entry is charged with the shared work: the ε_max index
       // step and the one counting launch that served the whole ladder.
@@ -448,9 +561,10 @@ std::vector<ClusterResult> Clusterer::sweep(std::span<const float> eps_values,
 
     // Gather this entry's strided counters into the session cache buffer
     // (one linear pass; the per-neighbor hot loop above stays cache-tight).
+    const std::size_t column = im.sweep_col[v];
     im.counts.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      im.counts[i] = im.sweep_counts[i * k + v];
+      im.counts[i] = im.sweep_counts[i * ku + column];
     }
     im.finish_run(eps, min_pts, im.counts,
                   v == 0 ? first_entry_timer : entry_timer);
@@ -466,7 +580,11 @@ std::vector<ClusterResult> Clusterer::sweep(std::span<const float> eps_values,
 
 std::vector<std::uint32_t> Clusterer::query_neighbors(const Vec3& center,
                                                       float eps) {
+  // Both arguments are validated BEFORE ensure_index below, so a garbage
+  // request can never retarget the session index to a degenerate ε or scan
+  // against a NaN center.
   validate_eps(eps);
+  validate_center(center);
   Impl& im = *impl_;
   std::vector<std::uint32_t> ids;
   if (im.opts.geometry == core::GeometryMode::kTriangles ||
@@ -499,6 +617,28 @@ std::vector<std::uint32_t> Clusterer::query_neighbors(std::uint32_t i,
   std::vector<std::uint32_t> ids = query_neighbors(im.pts[i], eps);
   ids.erase(std::remove(ids.begin(), ids.end(), i), ids.end());
   return ids;
+}
+
+std::shared_ptr<const IndexSnapshot> Clusterer::snapshot() const {
+  return impl_->acquire_snapshot();
+}
+
+std::vector<std::uint32_t> Clusterer::query_neighbors(
+    const Vec3& center) const {
+  return impl_->acquire_snapshot()->query_neighbors(center);
+}
+
+std::vector<std::uint32_t> Clusterer::query_neighbors(std::uint32_t i) const {
+  if (i >= impl_->pts.size()) {
+    throw std::invalid_argument(
+        "Clusterer: query_neighbors point index out of range");
+  }
+  return impl_->acquire_snapshot()->query_neighbors(i);
+}
+
+BatchQueryResult Clusterer::query_batch(std::span<const Vec3> centers,
+                                        float eps, int threads) const {
+  return impl_->acquire_snapshot()->query_batch(centers, eps, threads);
 }
 
 core::KdistResult Clusterer::kdist(std::uint32_t k) const {

@@ -37,6 +37,20 @@
 //
 // The one-shot rtd::cluster() free function (core/api.hpp) is a thin
 // wrapper over a throwaway session; existing callers are unaffected.
+//
+// Thread-safety contract (docs/ARCHITECTURE.md has the full table):
+//   * run()/sweep()/take_result() and the eps-taking query_neighbors
+//     overloads are WRITER operations — one thread at a time.
+//   * snapshot(), the const query_neighbors overloads and query_batch are
+//     READER operations: safe from any number of threads, concurrently
+//     with each other AND with a writer retargeting ε.  They serve an
+//     immutable IndexSnapshot published behind an atomic shared_ptr — the
+//     steady-state read path is one atomic load, no locks.
+//   * The writer never mutates an index a snapshot aliases: retargeting ε
+//     while snapshots exist builds a REPLACEMENT structure and drops the
+//     session's reference; readers holding the old snapshot finish at the
+//     old ε and the structure is reclaimed when the last one releases it
+//     (shared_ptr-epoch reclamation).  Results are never torn.
 #pragma once
 
 #include <atomic>
@@ -46,6 +60,7 @@
 #include <span>
 #include <vector>
 
+#include "core/index_snapshot.hpp"
 #include "core/kdist.hpp"
 #include "core/rt_dbscan.hpp"
 #include "core/rt_knn.hpp"
@@ -250,7 +265,11 @@ class Clusterer {
   /// Move the most recent run's result out of the session (no copy).  For
   /// throwaway sessions — the one-shot rtd::cluster() wrapper — where the
   /// zero-copy view run() returns would dangle.  The session stays usable,
-  /// but the moved-out buffers are gone: the next run() reallocates them.
+  /// but the moved-out buffers are gone: the next run() reallocates every
+  /// result buffer from scratch, fully independent of the taken copy (the
+  /// session-side result is reset to a fresh empty value, so nothing
+  /// aliases and a stray second take_result() yields a well-formed empty
+  /// result rather than moved-from remains).
   [[nodiscard]] ClusterResult take_result();
 
   /// Cluster once per eps value (returned in input order) — the
@@ -267,21 +286,66 @@ class Clusterer {
   ///     query radius below it).
   /// Every entry is an identical clustering to a fresh run at its eps (the
   /// parity suite enforces it); entry stats record the shared work on
-  /// entry 0 and counts_reused on the rest.  Scratch is O(k·n) for k ladder values —
-  /// the one deliberate deviation from the engine's O(n) memory.  Each
-  /// element is an independent owning copy.
+  /// entry 0 and counts_reused on the rest.  Each element is an independent
+  /// owning copy.
+  ///
+  /// Every ladder value must be positive and finite (std::invalid_argument
+  /// otherwise — validated up front, before any scratch is sized, so a NaN
+  /// can never drive max(eps_values) or the bucketing pass).  Duplicate
+  /// values are legal: duplicates share ONE bucketing column (their counts
+  /// are identical by definition) and each occurrence still yields its own
+  /// result entry, in input order.  Scratch is therefore O(k_unique·n) —
+  /// the one deliberate deviation from the engine's O(n) memory.
   std::vector<ClusterResult> sweep(std::span<const float> eps_values,
                                    std::uint32_t min_pts);
 
   /// Enumerate the dataset indices within `eps` of `center` (ascending),
   /// through the session index — retargeting it (refit or rebuild) when
-  /// `eps` differs from the current index ε.  `center` is treated as
-  /// off-dataset: no self exclusion.  Triangle-geometry sessions answer
-  /// with an exact scan (their accel is not a point-query structure).
+  /// `eps` differs from the current index ε.  WRITER operation (it may
+  /// retarget the session); the const overloads below are the concurrent
+  /// path.  Throws std::invalid_argument on a non-finite `center` or a
+  /// non-positive/non-finite `eps` — validated BEFORE the index is touched,
+  /// so a garbage request can never drive a degenerate retarget.  `center`
+  /// is treated as off-dataset: no self exclusion.  Triangle-geometry
+  /// sessions answer with an exact scan (their accel is not a point-query
+  /// structure).
   std::vector<std::uint32_t> query_neighbors(const geom::Vec3& center,
                                              float eps);
   /// Same, for dataset point `i` (excluded from its own neighborhood).
   std::vector<std::uint32_t> query_neighbors(std::uint32_t i, float eps);
+
+  // --- Concurrent serving layer (sphere-geometry sessions) ----------------
+
+  /// Publish (or fetch) the session's immutable index snapshot: the current
+  /// index at its current ε behind shared ownership.  O(1) steady state
+  /// (one atomic load); the first call after a retarget creates the
+  /// snapshot under a short writer-synchronized critical section.  Readers
+  /// may hold the snapshot for any length of time — a writer retargeting ε
+  /// switches to a replacement structure instead of mutating this one.
+  /// Throws std::logic_error before the first run()/sweep() (kAuto needs an
+  /// ε to resolve against, so there is no index yet) and on
+  /// triangle-geometry sessions (their accel is not a point-query
+  /// structure; the serving layer is sphere-geometry only).
+  [[nodiscard]] std::shared_ptr<const IndexSnapshot> snapshot() const;
+
+  /// Genuinely const read: the ε-neighbors of `center` at the SNAPSHOT's
+  /// built ε, without retargeting the session.  Safe from any number of
+  /// threads, concurrently with writer refits (see the class comment).
+  /// Same preconditions as snapshot().
+  [[nodiscard]] std::vector<std::uint32_t> query_neighbors(
+      const geom::Vec3& center) const;
+  /// Same, for dataset point `i` (excluded from its own neighborhood).
+  [[nodiscard]] std::vector<std::uint32_t> query_neighbors(
+      std::uint32_t i) const;
+
+  /// Const batched read: ONE parallel launch answers every center at `eps`
+  /// through the snapshot (amortizing launch overhead across thousands of
+  /// requests).  `eps` must satisfy the snapshot's radius rules
+  /// (IndexSnapshot file comment): any eps <= the snapshot ε on every
+  /// backend, larger only on the radius-agnostic ones.
+  [[nodiscard]] BatchQueryResult query_batch(
+      std::span<const geom::Vec3> centers, float eps,
+      int threads = 0) const;
 
   /// k-distance graph of the dataset (ε-selection, Ester et al.'s recipe),
   /// computed with the RT-kNN extension.  Standalone passthrough: does not

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstddef>
-#include <vector>
 
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
@@ -19,12 +18,20 @@ namespace rtd::rt {
 /// workers (0 = all hardware threads), timing the batch and summing the
 /// per-thread work counters.
 ///
-/// Steady-state zero-allocation: the per-thread accumulator buffer is
-/// thread_local to the launching thread and reused across launches (its
-/// capacity grows to the peak thread count once, then stays), and a
-/// single-thread launch runs inline without entering an OpenMP region at
-/// all.  Launches must not nest on one thread — no caller does; `f` runs
-/// on the workers, never re-launching.
+/// Zero-allocation and launcher-agnostic: each worker accumulates into a
+/// TraversalStats on its OWN stack inside the parallel region and the
+/// per-worker totals are merged once at region end
+/// (parallel_for_accumulate), so no per-thread accumulator storage is
+/// shared across threads at all.  Any number of threads may run launches
+/// concurrently (the serving read path does); a single-thread launch runs
+/// inline without entering an OpenMP region.
+///
+/// (An earlier revision staged the accumulators in a `static thread_local`
+/// vector owned by the launching thread and handed workers slots of it —
+/// but block-scope thread_local names inside the worker lambda resolve to
+/// the EXECUTING thread's instance, so every non-launching worker indexed
+/// its own empty vector.  The single-core container always took the serial
+/// fast path and masked it; don't reintroduce that pattern.)
 template <typename F>
 LaunchStats parallel_launch(std::size_t n, int threads, F&& f) {
   Timer timer;
@@ -39,17 +46,16 @@ LaunchStats parallel_launch(std::size_t n, int threads, F&& f) {
     return out;
   }
 
-  static thread_local std::vector<TraversalStats> per_thread;
-  per_thread.assign(static_cast<std::size_t>(t), TraversalStats{});
+  TraversalStats total;
   {
     ThreadCountGuard guard(t);
-    parallel_for_ctx(
-        n,
-        [&](std::size_t tid) { return &per_thread[tid]; },
-        [&](TraversalStats* stats, std::size_t i) { f(*stats, i); });
+    parallel_for_accumulate(
+        n, [] { return TraversalStats{}; },
+        [&](TraversalStats& stats, std::size_t i) { f(stats, i); },
+        [&](const TraversalStats& stats) { total += stats; });
   }
   out.seconds = timer.seconds();
-  for (const auto& s : per_thread) out.work += s;
+  out.work = total;
   return out;
 }
 

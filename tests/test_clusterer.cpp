@@ -308,6 +308,95 @@ TEST(Clusterer, ResultCopiesAreIndependentSnapshots) {
                               fresh, "snapshot");
 }
 
+TEST(Clusterer, TakeResultRunTakeResultCycleYieldsIndependentResults) {
+  // Regression: take_result() used to leave the session holding moved-from
+  // buffers, so the NEXT run() could resize storage the taken result still
+  // aliased conceptually — the cycle must produce two complete, fully
+  // independent results.
+  const auto dataset = data::taxi_gps(1100, 90);
+  Clusterer session(dataset.points);
+  (void)session.run(0.25f, 6);
+  const ClusterResult first = session.take_result();
+  ASSERT_EQ(first.labels.size(), dataset.size());
+  ASSERT_EQ(first.members.size(), dataset.size());
+  ASSERT_EQ(first.member_starts.size(), first.cluster_count + 2);
+  EXPECT_EQ(first.eps, 0.25f);
+
+  (void)session.run(0.5f, 6);
+  const ClusterResult second = session.take_result();
+  ASSERT_EQ(second.labels.size(), dataset.size());
+  ASSERT_EQ(second.members.size(), dataset.size());
+  ASSERT_EQ(second.member_starts.size(), second.cluster_count + 2);
+  EXPECT_EQ(second.eps, 0.5f);
+
+  // Both match their own fresh oracle — the second run did not recycle the
+  // first result's (taken) storage into a partial result.
+  expect_identical_clustering(dataset.points, Params{0.25f, 6}, first,
+                              cluster(dataset.points, 0.25f, 6),
+                              "taken first");
+  expect_identical_clustering(dataset.points, Params{0.5f, 6}, second,
+                              cluster(dataset.points, 0.5f, 6),
+                              "taken second");
+
+  // A stray second take without an intervening run: well-formed empty, not
+  // moved-from remains with stale scalars.
+  const ClusterResult stray = session.take_result();
+  EXPECT_TRUE(stray.labels.empty());
+  EXPECT_TRUE(stray.members.empty());
+  EXPECT_EQ(stray.cluster_count, 0u);
+  EXPECT_EQ(stray.eps, 0.0f);
+
+  // And the session is still fully usable afterwards.
+  const ClusterResult& again = session.run(0.25f, 6);
+  expect_identical_clustering(dataset.points, Params{0.25f, 6}, again,
+                              cluster(dataset.points, 0.25f, 6),
+                              "run after takes");
+}
+
+TEST(ClustererSweep, DuplicateLadderValuesShareColumnsAndMatch) {
+  // Duplicates are legal: each occurrence yields its own entry, in input
+  // order, identical to a fresh run (internally they share ONE bucketing
+  // column — this asserts the column mapping, not just the dedup).
+  const auto dataset = data::taxi_gps(1000, 91);
+  const std::vector<float> ladder = {0.3f, 0.45f, 0.3f, 0.2f, 0.45f};
+  const std::uint32_t min_pts = 6;
+  Clusterer session(dataset.points);
+  const auto curve = session.sweep(ladder, min_pts);
+  ASSERT_EQ(curve.size(), ladder.size());
+  for (std::size_t s = 0; s < curve.size(); ++s) {
+    EXPECT_EQ(curve[s].eps, ladder[s]);
+    const ClusterResult fresh = cluster(dataset.points, ladder[s], min_pts);
+    expect_identical_clustering(dataset.points, Params{ladder[s], min_pts},
+                                curve[s], fresh, "duplicate ladder entry");
+  }
+  // Duplicate entries are bit-identical to each other (same column).
+  EXPECT_EQ(curve[0].neighbor_counts, curve[2].neighbor_counts);
+  EXPECT_EQ(curve[1].neighbor_counts, curve[4].neighbor_counts);
+}
+
+TEST(ClustererSweep, RejectsNonFiniteAndNonPositiveLadderValues) {
+  // A NaN in the ladder must fail up front — NEVER drive max(eps_values)
+  // (NaN poisons max_element) or size the bucketing scratch.
+  const auto pts = testutil::two_squares_and_outlier();
+  Clusterer session(pts);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_THROW((void)session.sweep(std::vector<float>{0.3f, nan, 0.5f}, 3),
+               std::invalid_argument);
+  EXPECT_THROW((void)session.sweep(std::vector<float>{0.3f, inf}, 3),
+               std::invalid_argument);
+  EXPECT_THROW((void)session.sweep(std::vector<float>{0.3f, 0.0f}, 3),
+               std::invalid_argument);
+  EXPECT_THROW((void)session.sweep(std::vector<float>{-0.3f}, 3),
+               std::invalid_argument);
+  EXPECT_THROW((void)session.sweep(std::vector<float>{0.3f}, 0),
+               std::invalid_argument);
+  // Validation happened before any state was touched: no index was built.
+  EXPECT_EQ(session.current_eps(), std::nullopt);
+  // An empty ladder is a no-op, not an error.
+  EXPECT_TRUE(session.sweep(std::vector<float>{}, 3).empty());
+}
+
 // ---------------------------------------------------------------------------
 // Passthrough queries: neighbors, k-dist, kNN.
 // ---------------------------------------------------------------------------
@@ -412,6 +501,16 @@ TEST(Clusterer, RejectsInvalidArguments) {
                std::invalid_argument);
   EXPECT_THROW((void)session.query_neighbors(999u, 1.0f),
                std::invalid_argument);
+  // A non-finite CENTER is rejected too — and BEFORE the index is touched,
+  // so a garbage request can never retarget the session to a degenerate ε.
+  const Vec3 bad_center{std::numeric_limits<float>::quiet_NaN(), 0, 0};
+  EXPECT_THROW((void)session.query_neighbors(bad_center, 0.5f),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)session.query_neighbors(Vec3{0, 0, 0},
+                                    std::numeric_limits<float>::quiet_NaN()),
+      std::invalid_argument);
+  EXPECT_EQ(session.current_eps(), std::nullopt);  // index never built
   // Triangle geometry cannot run on a non-RT backend.
   EXPECT_THROW(Clusterer(pts, Options()
                                   .with_geometry(

@@ -129,6 +129,45 @@ TEST(QueryAllocation, WarmClustererRunsAllocateNothing) {
   }
 }
 
+TEST(QueryAllocation, WarmSnapshotReadsAllocateNothing) {
+  // The serving read path (core/index_snapshot.hpp) has the same warm
+  // contract as the raw index: once the snapshot exists and one pass has
+  // warmed the caller-owned output buffers and the thread-local query
+  // scratch, query_neighbors_into and query_batch_into allocate nothing.
+  const auto dataset = data::taxi_gps(10000, 80);
+  const float eps = 0.15f;
+  for (const IndexKind kind : kAllIndexKinds) {
+    Clusterer session(dataset.points,
+                      Options().with_backend(kind).with_threads(1));
+    (void)session.run(eps, 5);
+    const auto snap = session.snapshot();
+
+    std::vector<std::uint32_t> ids;
+    std::uint64_t sum = 0;
+    const auto singles = [&] {
+      for (std::uint32_t q = 0; q < 256; ++q) {
+        snap->query_neighbors_into(dataset.points[q], eps, q, ids);
+        sum += ids.size();
+        sum += snap->query_count(dataset.points[q], eps, q);
+      }
+    };
+    singles();  // warm: ids reaches its high-water capacity
+    singles();
+    EXPECT_EQ(allocations_during(singles), 0u) << to_string(kind);
+    EXPECT_GT(sum, 0u) << to_string(kind);
+
+    const std::span<const geom::Vec3> centers(dataset.points.data(), 512);
+    BatchQueryResult batch;
+    const auto batched = [&] {
+      snap->query_batch_into(centers, eps, /*threads=*/1, batch);
+      sum += batch.ids.size();
+    };
+    batched();  // warm: CSR buffers reach their high-water mark
+    batched();
+    EXPECT_EQ(allocations_during(batched), 0u) << to_string(kind);
+  }
+}
+
 TEST(QueryAllocation, ScratchArenaReusesCapacity) {
   QueryScratch& scratch = QueryScratch::local();
   auto& first = scratch.acquire_neighbors();
