@@ -24,17 +24,22 @@
 #   * serving: aggregate QPS of the concurrent snapshot read path at R
 #     reader threads must stay >= 0.9x the single-reader QPS for every
 #     quiescent row (PR 6 floor — the steady-state read path is one atomic
-#     load, so extra readers must never collapse throughput).
+#     load, so extra readers must never collapse throughput);
+#   * streaming: steady-state small-batch advance() (B = 1 and B = 64) on a
+#     1M-point live session must stay >= 5x faster than a full rebuild +
+#     recluster of the window (PR 7 floor — incremental maintenance exists
+#     to beat the batch pipeline; the 4096 row is characterization only).
 set -euo pipefail
 
 build_dir="${1:-build/release}"
-out_file="${2:-BENCH_PR6.json}"
+out_file="${2:-BENCH_PR7.json}"
 micro="${build_dir}/bench/bench_micro_bvh"
 sweep="${build_dir}/bench/bench_micro_sweep"
 breakdown="${build_dir}/bench/bench_breakdown"
 serving="${build_dir}/bench/bench_serving"
+streaming="${build_dir}/bench/bench_streaming"
 
-for bin in "${micro}" "${sweep}" "${serving}"; do
+for bin in "${micro}" "${sweep}" "${serving}" "${streaming}"; do
   if [[ ! -x "${bin}" ]]; then
     echo "error: ${bin} not found (configure with system google-benchmark" \
          "and build first: cmake --preset release && cmake --build" \
@@ -71,13 +76,18 @@ echo "== bench_serving (concurrent snapshot read path: QPS / latency)"
 # lost to a pipeline typo.
 "${serving}" --json --reps "${BENCH_REPS:-3}" >"${tmp_dir}/serving.json"
 
+echo "== bench_streaming (live-session advance() vs full rebuild+recluster)"
+"${streaming}" --json --n "${BENCH_STREAM_N:-1000000}" \
+  --reps "${BENCH_REPS:-3}" >"${tmp_dir}/streaming.json"
+
 python3 - "${tmp_dir}/micro.json" "${tmp_dir}/sweep.json" \
   "${tmp_dir}/breakdown.csv" "${tmp_dir}/serving.json" \
-  "${out_file}" <<'PYEOF'
+  "${tmp_dir}/streaming.json" "${out_file}" <<'PYEOF'
 import json
 import sys
 
-micro_path, sweep_path, breakdown_path, serving_path, out_path = sys.argv[1:6]
+(micro_path, sweep_path, breakdown_path, serving_path, streaming_path,
+ out_path) = sys.argv[1:7]
 with open(micro_path) as f:
     micro = json.load(f)
 with open(sweep_path) as f:
@@ -86,6 +96,8 @@ with open(breakdown_path) as f:
     breakdown_csv = f.read()
 with open(serving_path) as f:
     serving = json.load(f)
+with open(streaming_path) as f:
+    streaming = json.load(f)
 
 def median_time(doc, name):
     for b in doc["benchmarks"]:
@@ -118,7 +130,7 @@ for backend in session_backends:
     }
 
 snapshot = {
-    "pr": 6,
+    "pr": 7,
     "headline": {
         "sphere_mode": {
             "benchmark": "BM_QuerySweep1M (1M-point uniform cube, "
@@ -160,6 +172,20 @@ snapshot = {
             "rows": serving["rows"],
             "target": "quiescent rows: QPS at R readers >= 0.9x "
                       "single-reader QPS (churn rows are "
+                      "characterization only)",
+        },
+        "streaming": {
+            "benchmark": "bench_streaming (1M-point live session on "
+                         "bvhrt, steady-state sliding-window advance(): "
+                         "expire B oldest + insert B new with incremental "
+                         "count/index/label maintenance, vs a fresh index "
+                         "build + full recluster of the window)",
+            "n": streaming["n"],
+            "full_rebuild_recluster_ms":
+                streaming["full_rebuild_recluster_ms"],
+            "rows": streaming["rows"],
+            "target": "per-mutation latency at B = 1 and B = 64 >= 5x "
+                      "faster than full rebuild + recluster (B = 4096 is "
                       "characterization only)",
         },
     },
@@ -218,4 +244,22 @@ for row in quiescent:
               f"0.9x single-reader floor on {row['backend']}",
               file=sys.stderr)
         sys.exit(1)
+gated_batches = {1, 64}
+seen_batches = set()
+for row in streaming["rows"]:
+    print(f"headline: streaming B={row['batch']} "
+          f"{row['per_mutation_ms']:.2f}ms/mutation, "
+          f"{row['updates_per_sec']:.0f} updates/s "
+          f"({row['speedup_vs_rebuild']:.1f}x vs rebuild+recluster)")
+    seen_batches.add(row["batch"])
+    if row["batch"] in gated_batches and row["speedup_vs_rebuild"] < 5.0:
+        print(f"FAIL: streaming B={row['batch']} mutation only "
+              f"{row['speedup_vs_rebuild']:.1f}x faster than full "
+              f"rebuild+recluster (floor 5x)", file=sys.stderr)
+        sys.exit(1)
+if not gated_batches <= seen_batches:
+    # Fail closed: a renamed row must not silently disable the gate.
+    print("FAIL: streaming rows for the gated batch sizes (1, 64) missing",
+          file=sys.stderr)
+    sys.exit(1)
 PYEOF

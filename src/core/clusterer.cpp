@@ -1,13 +1,17 @@
 #include "core/clusterer.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "common/timer.hpp"
 #include "dbscan/engine.hpp"
+#include "index/compacted_index.hpp"
 
 namespace rtd {
 
@@ -15,6 +19,9 @@ namespace {
 
 using geom::Vec3;
 using index::IndexKind;
+
+/// "No entry" sentinel for the slot -> mini-DSU-node maps.
+constexpr std::uint32_t kNoneId = std::numeric_limits<std::uint32_t>::max();
 
 void validate_eps(float eps) {
   // NaN fails every comparison, so test the accepting condition: a NaN or
@@ -46,8 +53,11 @@ void validate_center(const Vec3& center) {
 struct Clusterer::Impl {
   /// Owned storage (an empty vector for borrowing sessions) and the view
   /// every internal consumer reads.  `pts` aliases `*storage` when owning.
-  /// Shared so snapshots can co-own the points past the session's lifetime.
-  std::shared_ptr<const std::vector<Vec3>> storage;
+  /// Shared so snapshots can co-own the points past the session's lifetime;
+  /// non-const so insert()/advance() can append — with copy-on-write when a
+  /// snapshot co-owns the buffer (an in-place append could relocate a span
+  /// a reader is traversing).
+  std::shared_ptr<std::vector<Vec3>> storage;
   std::span<const Vec3> pts;
   Options opts;
 
@@ -58,7 +68,21 @@ struct Clusterer::Impl {
   std::shared_ptr<index::NeighborIndex> index;
   IndexKind resolved = IndexKind::kAuto;  ///< kAuto pinned at first build
   float index_eps = 0.0f;
-  std::vector<std::uint32_t> order;  ///< query launch order (fixed points)
+  /// Query launch order over the LIVE slots only — rebuilt lazily after
+  /// mutations (ensure_order).  Engine phases launch one query per entry.
+  std::vector<std::uint32_t> order;
+  bool order_valid = false;
+
+  // --- live-session state (slot ids are stable; removal tombstones) -------
+  std::vector<std::uint8_t> live;  ///< empty = every slot live; else 0/1
+  std::size_t dead_count = 0;
+  std::size_t oldest_live = 0;  ///< advance() expiry cursor (insertion order)
+  /// Mutated slots absorbed into the index since its last full build; past
+  /// rebuild_threshold() the next mutation rebuilds over the live set.
+  std::size_t pending_mutations = 0;
+  /// result holds the clustering mutations maintain.  Set by run()/sweep(),
+  /// cleared by take_result() (mutations then have no baseline and throw).
+  bool result_current = false;
 
   // --- the concurrent serving layer ---------------------------------------
   // Readers (snapshot(), const query_neighbors/query_batch) take ONE atomic
@@ -87,6 +111,35 @@ struct Clusterer::Impl {
   std::vector<std::atomic<std::uint8_t>> claimed;
   std::vector<std::int32_t> root_scratch;
   std::vector<std::uint32_t> csr_cursor;
+
+  // Incremental-maintenance scratch (capacities reused: warm mutations
+  // below the rebuild threshold allocate only at the documented growth
+  // points — point-storage append, mask/scratch growth to a new high-water
+  // slot count, DSU growth).
+  std::vector<std::uint32_t> rem_sorted;     ///< validated removal batch
+  std::vector<std::uint32_t> expire_scratch; ///< advance() expiry ids
+  std::vector<std::uint8_t> new_core;        ///< post-mutation core flags
+  std::vector<std::uint8_t> cluster_affected;  ///< old cluster lost a core
+  std::vector<std::uint32_t> wloc;   ///< slot -> mini-DSU node, kNoneId out
+  std::vector<std::uint32_t> wlist;  ///< mini-DSU node -> slot
+  std::vector<std::uint8_t> claim;   ///< in-W border claims (serial CAS)
+  std::vector<std::uint32_t> claim_owner;  ///< out-of-W noise -> claiming node
+  std::optional<dsu::AtomicDisjointSet> mini_dsu;  ///< |W| + C_old nodes
+  std::vector<std::uint32_t> rem_nbr_ids;     ///< removal-batch neighbor CSR
+  std::vector<std::uint32_t> rem_nbr_starts;  ///< .. per-removed-id offsets
+  std::vector<std::uint32_t> cut_list;    ///< removed/demoted cores, by label
+  std::vector<std::uint32_t> cut_order;   ///< cut indices grouped by ε-site
+  std::vector<std::uint32_t> seed_list;   ///< cut-adjacent surviving cores
+  std::vector<std::uint32_t> bfs_queue;   ///< connectivity-proof frontier
+  std::vector<std::uint32_t> bfs_origin;  ///< .. origin seed per entry
+  std::vector<std::uint32_t> bfs_pending;  ///< frontier entries per seed root
+  std::vector<std::array<std::int32_t, 4>> seed_cells;  ///< ε-cell collapse
+  std::unordered_map<std::uint64_t, std::uint32_t> cell_seen;  ///< sparse tier
+  std::vector<std::uint32_t> seed_mark;   ///< slot epochs: is a seed
+  std::vector<std::uint32_t> visit_mark;  ///< slot epochs: BFS visited
+  std::vector<std::uint32_t> visit_origin;  ///< .. owning seed, same epoch
+  std::uint32_t mark_epoch = 0;           ///< current epoch for the 3 above
+  std::optional<dsu::AtomicDisjointSet> site_dsu;  ///< cut grouping + seeds
 
   // sweep() scratch: the shared multi-eps counting pass, laid out
   // point-major (sweep_counts[i * ku + u]) so one query's ladder counters
@@ -135,6 +188,57 @@ struct Clusterer::Impl {
                : rt::TraversalWidth::kBinary;
   }
 
+  [[nodiscard]] bool is_live_slot(std::size_t i) const {
+    return live.empty() || live[i] != 0;
+  }
+
+  [[nodiscard]] std::size_t live_slots() const {
+    return pts.size() - dead_count;
+  }
+
+  /// How many mutated slots the index may absorb in place before a fresh
+  /// build: enough that per-query delta-tail scans stay cheap, scaled so
+  /// big sessions amortize more mutations per build.
+  [[nodiscard]] static std::size_t rebuild_threshold(std::size_t live_n) {
+    return std::max<std::size_t>(64, live_n / 8);
+  }
+
+  /// Build a FRESH index at `eps` over the live set: the plain backend when
+  /// every slot is live, the CompactedIndex adapter (dense live copy,
+  /// slot-id translation) when tombstones exist — a plain rebuild over the
+  /// full span would resurrect them.  Caller holds publish_mu whenever a
+  /// snapshot could exist.  Resets the absorbed-mutation budget.
+  void build_index_now(float eps) {
+    if (resolved == IndexKind::kAuto) {
+      resolved = opts.backend == IndexKind::kAuto
+                     ? index::choose_index_kind(pts, eps)
+                     : opts.backend;
+    }
+    index.reset();  // release the old structure before building anew
+    if (dead_count == 0) {
+      index = index::make_index(pts, eps, resolved, build_options());
+    } else {
+      index = std::make_shared<index::CompactedIndex>(
+          pts, std::span<const std::uint8_t>(live), eps, resolved,
+          build_options());
+    }
+    index_eps = eps;
+    index_shared = false;
+    pending_mutations = 0;
+  }
+
+  /// Rebuild the live-only query launch order if mutations invalidated it.
+  void ensure_order() {
+    if (order_valid) return;
+    order = dbscan::query_launch_order(pts, opts.reorder_queries);
+    if (dead_count > 0) {
+      order.erase(std::remove_if(order.begin(), order.end(),
+                                 [&](std::uint32_t i) { return !live[i]; }),
+                  order.end());
+    }
+    order_valid = true;
+  }
+
   /// Make the session index answer queries at `eps`: build it on the first
   /// call, REFIT in place where the backend supports it, rebuild where it
   /// does not.  Records what happened and what it cost.
@@ -159,13 +263,7 @@ struct Clusterer::Impl {
     if (!index) {
       Timer t;
       const std::lock_guard<std::mutex> lock(publish_mu);
-      resolved = opts.backend == IndexKind::kAuto
-                     ? index::choose_index_kind(pts, eps)
-                     : opts.backend;
-      index = index::make_index(pts, eps, resolved, build_options());
-      order = dbscan::query_launch_order(pts, opts.reorder_queries);
-      index_eps = eps;
-      index_shared = false;
+      build_index_now(eps);
       es.rebuilt = true;
       es.seconds = t.seconds();
     } else if (eps != index_eps) {
@@ -179,17 +277,16 @@ struct Clusterer::Impl {
         // The current structure may be mid-traversal in a reader right now
         // — never mutate it.  Swap in a freshly built replacement; the old
         // one is reclaimed when the last snapshot holder releases it.
-        index = index::make_index(pts, eps, resolved, build_options());
-        index_shared = false;
+        index_shared = false;  // the snapshot keeps its own reference
+        build_index_now(eps);
         es.rebuilt = true;
       } else if (index->try_set_eps(eps)) {
+        index_eps = eps;
         es.refitted = true;
       } else {
-        index.reset();  // release the old structure before building anew
-        index = index::make_index(pts, eps, resolved, build_options());
+        build_index_now(eps);
         es.rebuilt = true;
       }
-      index_eps = eps;
       es.seconds = t.seconds();
     }
     return es;
@@ -207,9 +304,7 @@ struct Clusterer::Impl {
     const std::lock_guard<std::mutex> lock(publish_mu);
     published.store(nullptr);
     if (index_shared) {
-      index = index::make_index(pts, eps_max, resolved, build_options());
-      index_shared = false;
-      index_eps = eps_max;
+      build_index_now(eps_max);
       step.rebuilt = true;
       if (index->try_set_eps(eps)) {
         index_eps = eps;
@@ -263,15 +358,19 @@ struct Clusterer::Impl {
     const std::size_t n = pts.size();
 
     // Core test: counts exclude self; |N_eps(p)| >= minPts includes it.
+    // Tombstoned slots are never core (their counts are 0, but a min_pts
+    // of 1 would otherwise resurrect them).
     r.is_core.assign(n, 0);
+    const bool has_dead = dead_count > 0;
     for (std::size_t i = 0; i < n; ++i) {
-      r.is_core[i] = cts[i] + 1 >= min_pts ? 1 : 0;
+      r.is_core[i] =
+          (!has_dead || live[i]) && cts[i] + 1 >= min_pts ? 1 : 0;
     }
 
     if (!dsu.has_value()) {
       dsu.emplace(n);
     } else {
-      dsu->reset();
+      dsu->reset(n);  // mutations may have grown the slot space
     }
     if (claimed.size() != n) {
       claimed = std::vector<std::atomic<std::uint8_t>>(n);
@@ -300,7 +399,8 @@ struct Clusterer::Impl {
     ClusterResult& r = result;
     const std::size_t n = r.labels.size();
     const std::size_t buckets = static_cast<std::size_t>(r.cluster_count) + 1;
-    r.member_starts.assign(buckets + 1, 0);
+    r.member_starts.resize(buckets + 1);
+    std::fill(r.member_starts.begin(), r.member_starts.end(), 0u);
     for (std::size_t i = 0; i < n; ++i) {
       const std::int32_t label = r.labels[i];
       const std::size_t b = label == kNoise
@@ -312,9 +412,10 @@ struct Clusterer::Impl {
       r.member_starts[b] += r.member_starts[b - 1];
     }
     r.members.resize(n);
-    csr_cursor.assign(r.member_starts.begin(),
-                      r.member_starts.begin() +
-                          static_cast<std::ptrdiff_t>(buckets));
+    csr_cursor.resize(buckets);
+    std::copy(r.member_starts.begin(),
+              r.member_starts.begin() + static_cast<std::ptrdiff_t>(buckets),
+              csr_cursor.begin());
     for (std::size_t i = 0; i < n; ++i) {
       const std::int32_t label = r.labels[i];
       const std::size_t b = label == kNoise
@@ -322,6 +423,650 @@ struct Clusterer::Impl {
                                 : static_cast<std::size_t>(label);
       r.members[csr_cursor[b]++] = static_cast<std::uint32_t>(i);
     }
+  }
+
+  /// The shared mutation pipeline behind insert()/remove()/advance().
+  /// Validates everything up front (a throwing call leaves the session
+  /// untouched), then: decrement-queries for the removal batch, liveness
+  /// bookkeeping, storage append + index absorption under the publish
+  /// lock, count queries for the inserted batch, and the localized label
+  /// repair.  Returns the first inserted slot id.
+  std::size_t mutate(std::span<const Vec3> add,
+                     std::span<const std::uint32_t> rem) {
+    if (opts.geometry == core::GeometryMode::kTriangles) {
+      throw std::logic_error(
+          "Clusterer: insert/remove/advance serve sphere-geometry sessions "
+          "only (the triangle accel cannot absorb point mutations)");
+    }
+    if (!result_current) {
+      throw std::logic_error(
+          "Clusterer: mutations maintain the last clustering — run() or "
+          "sweep() first (and again after take_result())");
+    }
+    if (counts_cap != index::kNoCap) {
+      throw std::logic_error(
+          "Clusterer: incremental maintenance needs exact neighbor counts — "
+          "early-exit sessions cache capped ones (create the session "
+          "without Options::early_exit to stream)");
+    }
+    dbscan::require_finite(add);
+    const std::size_t n = pts.size();
+    rem_sorted.assign(rem.begin(), rem.end());
+    std::sort(rem_sorted.begin(), rem_sorted.end());
+    if (std::adjacent_find(rem_sorted.begin(), rem_sorted.end()) !=
+        rem_sorted.end()) {
+      throw std::invalid_argument(
+          "Clusterer: duplicate id in one removal batch");
+    }
+    for (const std::uint32_t id : rem_sorted) {
+      if (id >= n) {
+        throw std::invalid_argument("Clusterer: remove id out of range");
+      }
+      if (!is_live_slot(id)) {
+        throw std::invalid_argument(
+            "Clusterer: remove id was already removed");
+      }
+    }
+    const std::size_t first_new = n;
+    if (add.empty() && rem_sorted.empty()) return first_new;  // no-op
+
+    Timer total;
+    const float eps = result.eps;
+    const std::uint32_t min_pts = result.min_pts;
+    RunStats& st = result.stats;
+    st.incremental = true;
+    st.counts_reused = false;
+    st.phase1 = rt::LaunchStats{};
+    st.phase2 = rt::LaunchStats{};
+    st.timings = dbscan::PhaseTimings{};
+
+    // The index must exist and serve the result's ε before the batch can
+    // be queried (a sweep can park a rebuild-only backend at the ladder
+    // maximum; a session whose first run saw no points has no index yet).
+    const EnsureStats es = ensure_index(eps);
+    st.index_rebuilt = es.rebuilt;
+    st.index_refitted = es.refitted;
+    st.timings.index_build_seconds = es.seconds;
+
+    // Removal counts maintenance: one ε-query per removed id, decrementing
+    // every neighbor — BEFORE the mask hides the removed points.
+    if (!rem_sorted.empty()) {
+      st.phase1 = dbscan::index_phase1_remove(
+          *index, eps, rem_sorted, counts, rem_nbr_ids, rem_nbr_starts);
+      if (live.empty()) live.assign(n, 1);
+      for (const std::uint32_t id : rem_sorted) live[id] = 0;
+      dead_count += rem_sorted.size();
+    }
+    const std::size_t n_new = n + add.size();
+
+    // Storage append + index mutation, under the publish lock so snapshot
+    // creation can never interleave with a half-applied batch.
+    {
+      const std::lock_guard<std::mutex> lock(publish_mu);
+      published.store(nullptr);
+      if (!add.empty()) {
+        const bool borrowed = !storage || storage->data() != pts.data();
+        if (borrowed || storage.use_count() > 1) {
+          // Borrowed points, or a snapshot co-owns the buffer: an in-place
+          // append could relocate a span a reader is traversing — copy on
+          // write instead (the old buffer lives until its readers finish).
+          auto fresh = std::make_shared<std::vector<Vec3>>();
+          fresh->reserve(n_new);
+          fresh->assign(pts.begin(), pts.end());
+          fresh->insert(fresh->end(), add.begin(), add.end());
+          storage = std::move(fresh);
+        } else {
+          storage->insert(storage->end(), add.begin(), add.end());
+        }
+        pts = *storage;
+        if (!live.empty()) live.resize(n_new, 1);
+      }
+      pending_mutations += add.size() + rem_sorted.size();
+      bool absorbed = false;
+      if (!index_shared &&
+          pending_mutations <= rebuild_threshold(n_new - dead_count)) {
+        // In-place absorption: mask the removals (amortized refit inside
+        // the backend), then hand the appended span over (delta-tail
+        // contract — the call also re-binds after a storage relocation).
+        bool ok = rem_sorted.empty() || index->try_remove(rem_sorted);
+        if (ok && !add.empty()) ok = index->try_insert(pts, first_new);
+        absorbed = ok;
+      }
+      if (!absorbed) {
+        // Aliased by a snapshot, over the mutation budget, or a backend
+        // that cannot absorb inserts (grid/dense-box): fresh build over
+        // the live set.  Dropping index_shared releases only OUR
+        // reference — snapshot readers keep the old structure alive.
+        index_shared = false;
+        build_index_now(eps);
+        st.index_rebuilt = true;
+      }
+      order_valid = false;
+    }
+
+    // Insert counts maintenance: one ε-query per new point against the
+    // post-mutation index (removed slots are already invisible).
+    if (!add.empty()) {
+      const rt::LaunchStats ins =
+          dbscan::index_phase1_insert(*index, eps, first_new, counts);
+      st.phase1.seconds += ins.seconds;
+      st.phase1.work += ins.work;
+    }
+    for (const std::uint32_t id : rem_sorted) counts[id] = 0;
+    st.timings.core_phase_seconds = st.phase1.seconds;
+    counts_valid = true;
+    counts_eps = eps;
+    counts_cap = index::kNoCap;
+
+    maintain_labels(first_new, eps, min_pts);
+
+    st.timings.total_seconds = total.seconds();
+    result.seconds = st.timings.total_seconds;
+    return first_new;
+  }
+
+  /// Localized label repair after one mutation batch — the incremental
+  /// phase 2.  Correctness rests on two monotonicity facts:
+  ///   * insertions cannot SPLIT a cluster (ε-edges only appear), and
+  ///   * removals cannot MERGE clusters (ε-edges only disappear);
+  /// so only clusters that LOST a core point (removal or demotion) can
+  /// change shape; every other cluster keeps its partition.  For clusters
+  /// that did lose cores, split detection (see the inline proof sketch)
+  /// certifies most of them intact by connecting the cut-adjacent
+  /// surviving cores — usually by plain distance checks, else a localized
+  /// BFS — so the repair set W stays small: the cut's non-core neighbors,
+  /// demoted cores, promoted cores, and the inserted batch; only a PROVEN
+  /// split expands a cluster's full membership into W.  A miniature
+  /// union-find over W plus one ANCHOR node per old cluster re-runs phase
+  /// 2's union rules with queries only from W's cores; the relabel pass
+  /// then maps old labels through the anchors, so intact clusters merge
+  /// or persist without their members ever being queried.
+  void maintain_labels(std::size_t first_new, float eps,
+                       std::uint32_t min_pts) {
+    const Timer phase_timer;
+    ClusterResult& r = result;
+    const std::size_t n = pts.size();
+    const std::uint32_t c_old = r.cluster_count;
+
+    // Post-mutation core flags; r.is_core keeps the PRE-mutation flags
+    // until the relabel pass (the affected-set logic needs both).
+    new_core.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      new_core[i] = is_live_slot(i) && counts[i] + 1 >= min_pts ? 1 : 0;
+    }
+
+    // CUT nodes: old cores that are no longer cores (removed, or demoted by
+    // the batch).  Only paths through them can break, so only their clusters
+    // can split or shed borders.  (Scratch buffers grow via resize, not
+    // assign: resize grows geometrically, so warm mutations on a growing
+    // session amortize to allocation-free instead of reallocating.)
+    cut_list.clear();
+    for (std::uint32_t i = 0; i < first_new; ++i) {
+      if (r.is_core[i] && !new_core[i] && r.labels[i] >= 0) {
+        cut_list.push_back(i);
+      }
+    }
+    std::sort(cut_list.begin(), cut_list.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return r.labels[a] != r.labels[b] ? r.labels[a] < r.labels[b]
+                                                  : a < b;
+              });
+    cluster_affected.resize(c_old);  // 1 = proven/possible split: full repair
+    std::fill(cluster_affected.begin(), cluster_affected.end(),
+              std::uint8_t{0});
+
+    // The repair set W (wlist), with wloc as the slot -> node map.
+    wloc.resize(n);
+    std::fill(wloc.begin(), wloc.end(), kNoneId);
+    wlist.clear();
+    const auto add_w = [&](std::uint32_t i) {
+      if (wloc[i] == kNoneId) {
+        wloc[i] = static_cast<std::uint32_t>(wlist.size());
+        wlist.push_back(i);
+      }
+    };
+
+    // Split detection, per cluster that lost a core.  A cluster splits only
+    // if some ε-connected GROUP of its cut nodes disconnects the surviving
+    // cores around it: any old core-path between surviving cores enters and
+    // leaves a cut group through cut-adjacent surviving cores ("seeds"), so
+    // if every group's seeds stay mutually reachable through surviving
+    // cores, every old path can be rerouted and the cluster is intact —
+    // its out-of-W members keep their label through the cluster anchor,
+    // and only the LOCAL damage joins W: demoted cores and the non-core
+    // neighbors of cut nodes (their witness core may be gone).  The proof
+    // is usually free: seeds directly within ε of each other unite by
+    // distance alone; only unresolved groups pay a BFS over surviving
+    // cores, and only a proven disconnection falls back to re-clustering
+    // the whole membership (the split really happened; the work is real).
+    rt::TraversalStats work;
+    const float eps2 = eps * eps;
+    seed_mark.resize(n);
+    visit_mark.resize(n);
+    visit_origin.resize(n);  // valid only where visit_mark holds the epoch
+    const auto next_epoch = [&] {
+      if (++mark_epoch == 0) {  // wrap: invalidate all stale marks once
+        std::fill(seed_mark.begin(), seed_mark.end(), 0u);
+        std::fill(visit_mark.begin(), visit_mark.end(), 0u);
+        mark_epoch = 1;
+      }
+      return mark_epoch;
+    };
+    if (!site_dsu.has_value()) site_dsu.emplace(0);
+    for (std::size_t lo = 0; lo < cut_list.size();) {
+      const std::int32_t c = r.labels[cut_list[lo]];
+      std::size_t hi = lo;
+      while (hi < cut_list.size() && r.labels[cut_list[hi]] == c) ++hi;
+      const std::size_t k = hi - lo;
+
+      // A cut this large is most of the cluster: detection would cost a
+      // comparable number of queries to the repair it tries to avoid, so
+      // expand the membership directly (big batches converge toward the
+      // full-recluster path anyway).
+      if (k * 8 >= r.members_of(c).size()) {
+        cluster_affected[static_cast<std::size_t>(c)] = 1;
+        for (const std::uint32_t m : r.members_of(c)) {
+          if (is_live_slot(m)) add_w(m);
+        }
+        lo = hi;
+        continue;
+      }
+
+      // ε-transitive grouping of this cluster's cut nodes: consecutive cut
+      // nodes on an old path are within ε, so a maximal cut run lies in one
+      // group and its flanking seeds belong to that group's seed set.
+      site_dsu->reset(k);
+      for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = a + 1; b < k; ++b) {
+          if (geom::distance_squared(pts[cut_list[lo + a]],
+                                     pts[cut_list[lo + b]]) <= eps2) {
+            site_dsu->unite(static_cast<std::uint32_t>(a),
+                            static_cast<std::uint32_t>(b));
+          }
+        }
+      }
+      cut_order.resize(k);
+      for (std::size_t a = 0; a < k; ++a) {
+        cut_order[a] = static_cast<std::uint32_t>(a);
+      }
+      std::sort(cut_order.begin(), cut_order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return site_dsu->find(a) < site_dsu->find(b);
+                });
+
+      for (std::size_t glo = 0; glo < k;) {
+        const std::uint32_t root = site_dsu->find(cut_order[glo]);
+        std::size_t ghi = glo;
+        while (ghi < k && site_dsu->find(cut_order[ghi]) == root) ++ghi;
+
+        // Seeds: surviving old cores adjacent to any cut node of the
+        // group.  Non-core neighbors of this cluster join W — their
+        // witness core may be in the cut.  (Removed nodes' neighborhoods
+        // were captured during count maintenance; demoted nodes are live
+        // and queried here, cheaply — their counts dropped below minPts.)
+        const std::uint32_t epoch = next_epoch();
+        seed_list.clear();
+        const auto classify = [&](std::uint32_t j) {
+          if (!is_live_slot(j)) return;
+          if (new_core[j]) {
+            if (r.is_core[j] && r.labels[j] == c && seed_mark[j] != epoch) {
+              seed_mark[j] = epoch;
+              seed_list.push_back(j);
+            }
+          } else if (r.labels[j] == c) {
+            add_w(j);
+          }
+        };
+        for (std::size_t g = glo; g < ghi; ++g) {
+          const std::uint32_t x = cut_list[lo + cut_order[g]];
+          if (is_live_slot(x)) {
+            add_w(x);  // demoted: border of a neighbor cluster, or noise
+            index->query_sphere(pts[x], eps, x, classify, work);
+          } else {
+            const auto pos = static_cast<std::size_t>(
+                std::lower_bound(rem_sorted.begin(), rem_sorted.end(), x) -
+                rem_sorted.begin());
+            for (std::uint32_t t = rem_nbr_starts[pos];
+                 t < rem_nbr_starts[pos + 1]; ++t) {
+              classify(rem_nbr_ids[t]);
+            }
+          }
+        }
+        const std::size_t s = seed_list.size();
+        if (s <= 1) {  // ≤ 1 flanking core: nothing to disconnect
+          glo = ghi;
+          continue;
+        }
+
+        // Query-free fast path: seeds directly within ε unite by distance
+        // alone.  The DSU survives into the search below as its starting
+        // components (cut grouping is already materialized in cut_order).
+        site_dsu->reset(s);
+        std::size_t comps = s;
+        if (s <= 512) {
+          for (std::size_t a = 0; a < s && comps > 1; ++a) {
+            for (std::size_t b = a + 1; b < s && comps > 1; ++b) {
+              if (site_dsu->find(static_cast<std::uint32_t>(a)) !=
+                      site_dsu->find(static_cast<std::uint32_t>(b)) &&
+                  geom::distance_squared(pts[seed_list[a]],
+                                         pts[seed_list[b]]) <= eps2) {
+                site_dsu->unite(static_cast<std::uint32_t>(a),
+                                static_cast<std::uint32_t>(b));
+                --comps;
+              }
+            }
+          }
+        } else {
+          // Too many seeds for pairwise (a cut in a dense region): collapse
+          // by ε/√3 grid cell — any two points in one cell are within ε,
+          // so each occupied cell is one component.  O(s log s), and it
+          // shrinks thousands of dense-ball seeds to the handful of cells
+          // the cut spans; the search below settles the rest.
+          const double h = static_cast<double>(eps) / std::sqrt(3.0);
+          seed_cells.resize(s);
+          for (std::uint32_t q = 0; q < s; ++q) {
+            const Vec3& p = pts[seed_list[q]];
+            seed_cells[q] = {static_cast<std::int32_t>(
+                                 std::floor(static_cast<double>(p.x) / h)),
+                             static_cast<std::int32_t>(
+                                 std::floor(static_cast<double>(p.y) / h)),
+                             static_cast<std::int32_t>(
+                                 std::floor(static_cast<double>(p.z) / h)),
+                             static_cast<std::int32_t>(q)};
+          }
+          std::sort(seed_cells.begin(), seed_cells.end());
+          for (std::size_t a = 1; a < s; ++a) {
+            if (seed_cells[a][0] == seed_cells[a - 1][0] &&
+                seed_cells[a][1] == seed_cells[a - 1][1] &&
+                seed_cells[a][2] == seed_cells[a - 1][2]) {
+              site_dsu->unite(
+                  static_cast<std::uint32_t>(seed_cells[a][3]),
+                  static_cast<std::uint32_t>(seed_cells[a - 1][3]));
+              --comps;
+            }
+          }
+        }
+
+        // Multi-source component search over the cluster's surviving
+        // cores: every seed floods in FIFO rounds and fronts UNITE where
+        // they meet.  The search stops once the seeds prove connected, or
+        // once at most one component still has a frontier.
+        //
+        // It runs in two tiers.  The SPARSE tier expands at most one node
+        // per ε/√3 grid cell: a later pop landing in an expanded cell
+        // within ε of its owner merges with it outright (same-cell IS an
+        // ε-witness) and is not queried, so proving "connected" costs
+        // about the flooded area in cells, not in points — unions only
+        // ever happen on real ε-witnesses, so a comps==1 verdict is
+        // sound.  Sparse expansion can MISS connections, so a leftover
+        // comps>1 is not yet a split: the EXHAUSTIVE tier re-floods,
+        // expanding every node.  There, an exhausted component is a
+        // COMPLETE connected component — a splinter the cut really broke
+        // off — and its visited cores join W for re-labeling, while the
+        // surviving component keeps its label through the cluster anchor
+        // without ever being fully flooded (the search stops when one
+        // active frontier remains).  A real split reaches the exhaustive
+        // tier but costs the splinters' size, never the cluster's.
+        std::size_t active = 0;
+        const auto flood = [&](bool sparse) {
+          const std::uint32_t fe = next_epoch();
+          bfs_queue.clear();
+          bfs_origin.clear();
+          bfs_pending.assign(s, 0u);
+          if (sparse) cell_seen.clear();
+          active = 0;
+          const auto adjust = [&](std::uint32_t comp, bool up) {
+            std::uint32_t& p = bfs_pending[comp];
+            if (up) {
+              if (p++ == 0) ++active;
+            } else {
+              if (--p == 0) --active;
+            }
+          };
+          for (std::uint32_t q = 0; q < s; ++q) {
+            const std::uint32_t slot = seed_list[q];
+            visit_mark[slot] = fe;
+            visit_origin[slot] = q;
+            bfs_queue.push_back(slot);
+            bfs_origin.push_back(q);
+            adjust(site_dsu->find(q), true);
+          }
+          const auto merge = [&](std::uint32_t a, std::uint32_t b) {
+            const std::uint32_t ra = site_dsu->find(a);
+            const std::uint32_t rb = site_dsu->find(b);
+            if (ra == rb) return;
+            const std::uint32_t pending = bfs_pending[ra] + bfs_pending[rb];
+            if (bfs_pending[ra] > 0 && bfs_pending[rb] > 0) --active;
+            bfs_pending[ra] = 0;
+            bfs_pending[rb] = 0;
+            site_dsu->unite(ra, rb);
+            bfs_pending[site_dsu->find(ra)] = pending;
+            --comps;
+          };
+          const double h = static_cast<double>(eps) / std::sqrt(3.0);
+          for (std::size_t head = 0;
+               head < bfs_queue.size() && comps > 1 && active > 1; ++head) {
+            const std::uint32_t u = bfs_queue[head];
+            const std::uint32_t uo = bfs_origin[head];
+            adjust(site_dsu->find(uo), false);
+            if (sparse) {
+              const Vec3& pu = pts[u];
+              const auto cx = static_cast<std::int64_t>(
+                  std::floor(static_cast<double>(pu.x) / h));
+              const auto cy = static_cast<std::int64_t>(
+                  std::floor(static_cast<double>(pu.y) / h));
+              const auto cz = static_cast<std::int64_t>(
+                  std::floor(static_cast<double>(pu.z) / h));
+              const std::uint64_t key =
+                  (static_cast<std::uint64_t>(cx & 0x1FFFFF) << 42) |
+                  (static_cast<std::uint64_t>(cy & 0x1FFFFF) << 21) |
+                  static_cast<std::uint64_t>(cz & 0x1FFFFF);
+              const auto [it, fresh] = cell_seen.try_emplace(key, u);
+              if (!fresh &&
+                  geom::distance_squared(pu, pts[it->second]) <= eps2) {
+                // The cell's owner already expanded here (the packed key
+                // can alias distant cells, hence the distance check):
+                // merge through the same-cell witness and skip the query.
+                merge(uo, visit_origin[it->second]);
+                continue;
+              }
+            }
+            index->query_sphere(
+                pts[u], eps, u,
+                [&](std::uint32_t j) {
+                  if (!is_live_slot(j) || !new_core[j] || !r.is_core[j] ||
+                      r.labels[j] != c) {
+                    return;
+                  }
+                  if (visit_mark[j] == fe) {
+                    merge(uo, visit_origin[j]);
+                  } else {
+                    visit_mark[j] = fe;
+                    visit_origin[j] = uo;
+                    bfs_queue.push_back(j);
+                    bfs_origin.push_back(uo);
+                    adjust(site_dsu->find(uo), true);
+                  }
+                },
+                work);
+          }
+        };
+        if (comps > 1) flood(true);
+        if (comps > 1) {
+          flood(false);
+          if (comps > 1) {
+            // Proven split.  The residual component — still active, else
+            // the most-visited — keeps the label; every other component
+            // was flooded to exhaustion, so its visited cores ARE the
+            // splinter and join W.
+            cluster_affected[static_cast<std::size_t>(c)] = 1;
+            std::uint32_t residual = kNoneId;
+            if (active > 0) {
+              for (std::uint32_t q = 0; q < s; ++q) {
+                if (bfs_pending[site_dsu->find(q)] > 0) {
+                  residual = site_dsu->find(q);
+                  break;
+                }
+              }
+            } else {
+              std::fill(bfs_pending.begin(), bfs_pending.end(), 0u);
+              for (const std::uint32_t o : bfs_origin) {
+                ++bfs_pending[site_dsu->find(o)];
+              }
+              std::uint32_t best = 0;
+              for (std::uint32_t q = 0; q < s; ++q) {
+                const std::uint32_t rq = site_dsu->find(q);
+                if (bfs_pending[rq] > best) {
+                  best = bfs_pending[rq];
+                  residual = rq;
+                }
+              }
+            }
+            for (std::size_t e = 0; e < bfs_queue.size(); ++e) {
+              if (site_dsu->find(bfs_origin[e]) != residual) {
+                add_w(bfs_queue[e]);
+              }
+            }
+          }
+        }
+        glo = ghi;
+      }
+      lo = hi;
+    }
+    for (std::uint32_t i = 0; i < first_new; ++i) {
+      if (!r.is_core[i] && new_core[i]) add_w(i);  // promoted border/noise
+    }
+    for (std::uint32_t i = static_cast<std::uint32_t>(first_new); i < n;
+         ++i) {
+      add_w(i);  // the inserted batch (always live)
+    }
+
+    const std::size_t w_count = wlist.size();
+    const std::size_t nodes = w_count + c_old;
+    const auto cluster_node = [&](std::int32_t c) {
+      return static_cast<std::uint32_t>(w_count +
+                                        static_cast<std::size_t>(c));
+    };
+    if (!mini_dsu.has_value()) {
+      mini_dsu.emplace(nodes);
+    } else {
+      mini_dsu->reset(nodes);
+    }
+    claim.resize(w_count);
+    std::fill(claim.begin(), claim.end(), std::uint8_t{0});
+    claim_owner.resize(n);
+    std::fill(claim_owner.begin(), claim_owner.end(), kNoneId);
+
+    // Pass A — phase 2's union rules, queried only from W's core points:
+    // core-core merges (to an in-W node or an out-of-W cluster anchor),
+    // in-W border claims, and first-claim capture of out-of-W points a
+    // new core now reaches (old noise, or borders of split clusters).
+    // Out-of-W cores anchor to their old label: their cluster is proven
+    // intact, or they are the residual component of a split (splinters
+    // joined W).  Out-of-W borders of intact clusters keep their labels
+    // the same way: a border whose witness core was cut is in some cut
+    // node's neighbor list and therefore in W.
+    for (std::uint32_t w = 0; w < w_count; ++w) {
+      const std::uint32_t i = wlist[w];
+      if (!new_core[i]) continue;
+      index->query_sphere(
+          pts[i], eps, i,
+          [&](std::uint32_t j) {
+            const std::uint32_t wj = wloc[j];
+            if (wj != kNoneId) {
+              if (new_core[j]) {
+                if (j > i) mini_dsu->unite(w, wj);
+              } else if (!claim[wj]) {
+                claim[wj] = 1;
+                mini_dsu->unite(w, wj);
+              }
+            } else if (new_core[j]) {
+              // Out-of-W core: proven intact, or the residual component
+              // of a split cluster (splinters joined W; a splinter core
+              // within ε of a residual core would have merged with it
+              // during detection's flood).  Either way its old label is
+              // its valid cluster identity.
+              mini_dsu->unite(w, cluster_node(r.labels[j]));
+            } else if (claim_owner[j] == kNoneId &&
+                       (r.labels[j] == kNoise ||
+                        cluster_affected[static_cast<std::size_t>(
+                            r.labels[j])])) {
+              // Old noise a new core now reaches, or a border of a SPLIT
+              // cluster whose witness core may have ended up in w's side
+              // (a splinter): w is a core within ε, so w's cluster is a
+              // valid home — claim it.  Borders of intact clusters keep
+              // their anchor: their witness either survived out of W or
+              // sits in W with its old label's identity.
+              claim_owner[j] = w;
+            }
+          },
+          work);
+    }
+
+    // Pass B — unclaimed non-core W members: border iff ANY live core is
+    // within ε (pass A only queried from in-W cores; an out-of-W core can
+    // hold them too).  Attach to the first one found, else noise.
+    for (std::uint32_t w = 0; w < w_count; ++w) {
+      const std::uint32_t i = wlist[w];
+      if (new_core[i] || claim[w]) continue;
+      index->query_sphere(
+          pts[i], eps, i,
+          [&](std::uint32_t j) {
+            if (claim[w] || !new_core[j]) return;
+            claim[w] = 1;
+            const std::uint32_t wj = wloc[j];
+            mini_dsu->unite(
+                w, wj != kNoneId ? wj : cluster_node(r.labels[j]));
+          },
+          work);
+    }
+
+    // Relabel: first-seen dense ids over the mini-DSU roots.  In-W slots
+    // resolve through their own node, out-of-W labeled slots through their
+    // cluster's anchor, claimed out-of-W noise through the claiming node.
+    // (Label VALUES are not stable across mutations — only the partition.)
+    r.labels.resize(n, kNoise);
+    root_scratch.resize(nodes);
+    std::fill(root_scratch.begin(), root_scratch.end(), dbscan::kNoiseLabel);
+    std::int32_t next = 0;
+    const auto label_of = [&](std::uint32_t node) {
+      const std::uint32_t root = mini_dsu->find(node);
+      if (root_scratch[root] == dbscan::kNoiseLabel) {
+        root_scratch[root] = next++;
+      }
+      return root_scratch[root];
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!is_live_slot(i)) {
+        r.labels[i] = kNoise;
+        continue;
+      }
+      const std::uint32_t w = wloc[i];
+      if (w != kNoneId) {
+        r.labels[i] = new_core[i] || claim[w] ? label_of(w) : kNoise;
+      } else if (r.labels[i] >= 0 &&
+                 !(claim_owner[i] != kNoneId &&
+                   cluster_affected[static_cast<std::size_t>(
+                       r.labels[i])])) {
+        r.labels[i] = label_of(cluster_node(r.labels[i]));
+      } else if (claim_owner[i] != kNoneId) {
+        // Claimed: old noise a new core reached, or a border of a split
+        // cluster re-homed by a W core (its old witness may be in a
+        // splinter; the claiming core is a live witness by construction).
+        r.labels[i] = label_of(claim_owner[i]);
+      }
+    }
+    r.cluster_count = static_cast<std::uint32_t>(next);
+    r.is_core.resize(n);
+    std::copy(new_core.begin(), new_core.end(), r.is_core.begin());
+    r.neighbor_counts.resize(n);
+    std::copy(counts.begin(), counts.end(), r.neighbor_counts.begin());
+    build_membership();
+
+    RunStats& st = r.stats;
+    st.phase2.work += work;
+    st.phase2.seconds += phase_timer.seconds();
+    st.timings.cluster_phase_seconds = st.phase2.seconds;
   }
 };
 
@@ -348,8 +1093,7 @@ Clusterer::Clusterer(std::vector<Vec3> points, Options options)
     : impl_(std::make_unique<Impl>()) {
   dbscan::require_finite(points);
   validate_options(options);
-  impl_->storage =
-      std::make_shared<const std::vector<Vec3>>(std::move(points));
+  impl_->storage = std::make_shared<std::vector<Vec3>>(std::move(points));
   impl_->pts = *impl_->storage;
   impl_->opts = options;
 }
@@ -390,6 +1134,7 @@ const ClusterResult& Clusterer::run(float eps, std::uint32_t min_pts) {
     r.member_starts.assign(2, 0);
     r.cluster_count = 0;
     r.seconds = total.seconds();
+    im.result_current = true;  // an empty session may stream from here
     return r;
   }
 
@@ -413,10 +1158,12 @@ const ClusterResult& Clusterer::run(float eps, std::uint32_t min_pts) {
     im.build_membership();
     r.stats.timings.total_seconds = total.seconds();
     r.seconds = r.stats.timings.total_seconds;
+    im.result_current = true;
     return r;
   }
 
   const Impl::EnsureStats es = im.ensure_index(eps);
+  im.ensure_order();
   r.stats.backend = im.resolved;
   r.stats.width = im.stats_width();
   r.stats.index_rebuilt = es.rebuilt;
@@ -449,6 +1196,7 @@ const ClusterResult& Clusterer::run(float eps, std::uint32_t min_pts) {
   }
 
   im.finish_run(eps, min_pts, im.counts, total);
+  im.result_current = true;
   return r;
 }
 
@@ -459,7 +1207,60 @@ ClusterResult Clusterer::take_result() {
   // take_result() yields a well-formed empty result instead of moved-from
   // remains with stale scalar fields.
   impl_->result = ClusterResult{};
+  impl_->result_current = false;  // mutations lost their baseline
   return out;
+}
+
+std::size_t Clusterer::insert(std::span<const Vec3> new_points) {
+  return impl_->mutate(new_points, {});
+}
+
+void Clusterer::remove(std::span<const std::uint32_t> ids) {
+  impl_->mutate({}, ids);
+}
+
+std::size_t Clusterer::advance(std::span<const Vec3> new_points,
+                               std::size_t expire_count) {
+  Impl& im = *impl_;
+  if (expire_count > im.live_slots()) {
+    throw std::invalid_argument(
+        "Clusterer: advance expire_count exceeds the live point count");
+  }
+  // Collect the expiry batch by walking the cursor over live slots (every
+  // live slot is >= oldest_live by the cursor invariant).  The cursor is
+  // committed only after the batch succeeds, so a throwing mutate() —
+  // e.g. a non-finite inserted point — leaves the window intact.
+  im.expire_scratch.clear();
+  std::size_t cursor = im.oldest_live;
+  while (im.expire_scratch.size() < expire_count) {
+    if (im.is_live_slot(cursor)) {
+      im.expire_scratch.push_back(static_cast<std::uint32_t>(cursor));
+    }
+    ++cursor;
+  }
+  const std::size_t first_new = im.mutate(new_points, im.expire_scratch);
+  im.oldest_live = cursor;
+  return first_new;
+}
+
+const ClusterResult& Clusterer::result() const {
+  const Impl& im = *impl_;
+  if (!im.result_current) {
+    throw std::logic_error(
+        "Clusterer: no current result — run() or sweep() first (the last "
+        "one may have been taken by take_result())");
+  }
+  return im.result;
+}
+
+std::size_t Clusterer::live_count() const { return impl_->live_slots(); }
+
+bool Clusterer::is_live(std::uint32_t id) const {
+  const Impl& im = *impl_;
+  if (id >= im.pts.size()) {
+    throw std::invalid_argument("Clusterer: is_live id out of range");
+  }
+  return im.is_live_slot(id);
 }
 
 std::vector<ClusterResult> Clusterer::sweep(std::span<const float> eps_values,
@@ -497,6 +1298,7 @@ std::vector<ClusterResult> Clusterer::sweep(std::span<const float> eps_values,
       *std::max_element(eps_values.begin(), eps_values.end());
   const Timer first_entry_timer;  // entry 0 is charged with the shared work
   const Impl::EnsureStats build = im.ensure_index(eps_max);
+  im.ensure_order();
   im.sweep_eps2.clear();
   im.sweep_col.resize(k);
   for (std::size_t v = 0; v < k; ++v) {
@@ -510,8 +1312,11 @@ std::vector<ClusterResult> Clusterer::sweep(std::span<const float> eps_values,
   const std::size_t ku = im.sweep_eps2.size();
   im.sweep_counts.assign(ku * n, 0);
   const std::span<const geom::Vec3> pts = im.pts;
+  // One query per ORDER entry (live slots only): tombstoned slots keep the
+  // zero counts from the assign above and are never core.
   const rt::LaunchStats shared_phase1 = rt::parallel_launch(
-      n, im.opts.threads, [&](rt::TraversalStats& stats, std::size_t q) {
+      im.order.size(), im.opts.threads,
+      [&](rt::TraversalStats& stats, std::size_t q) {
         const std::uint32_t i = im.order[q];
         std::uint32_t* const buckets = im.sweep_counts.data() + i * ku;
         im.index->query_sphere(
@@ -575,6 +1380,7 @@ std::vector<ClusterResult> Clusterer::sweep(std::span<const float> eps_values,
   im.counts_valid = true;
   im.counts_eps = eps_values.back();
   im.counts_cap = index::kNoCap;
+  im.result_current = true;  // mutations maintain the LAST ladder entry
   return out;
 }
 
@@ -614,6 +1420,10 @@ std::vector<std::uint32_t> Clusterer::query_neighbors(std::uint32_t i,
     throw std::invalid_argument(
         "Clusterer: query_neighbors point index out of range");
   }
+  if (!im.is_live_slot(i)) {
+    throw std::invalid_argument(
+        "Clusterer: query_neighbors point was removed from the session");
+  }
   std::vector<std::uint32_t> ids = query_neighbors(im.pts[i], eps);
   ids.erase(std::remove(ids.begin(), ids.end(), i), ids.end());
   return ids;
@@ -641,6 +1451,23 @@ BatchQueryResult Clusterer::query_batch(std::span<const Vec3> centers,
   return impl_->acquire_snapshot()->query_batch(centers, eps, threads);
 }
 
+namespace {
+
+/// Live-only copy of a session's points, for the offline analyses (kdist,
+/// knn) which have no tombstone concept.  Result indices are positions in
+/// the live sequence, not slot ids.
+std::vector<Vec3> compact_live(std::span<const Vec3> pts,
+                               std::span<const std::uint8_t> live) {
+  std::vector<Vec3> out;
+  out.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (live[i]) out.push_back(pts[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
 core::KdistResult Clusterer::kdist(std::uint32_t k) const {
   const Impl& im = *impl_;
   if (k == 0) {
@@ -654,14 +1481,21 @@ core::KdistResult Clusterer::kdist(std::uint32_t k) const {
     }
     k = flat ? 4 : 6;
   }
+  if (im.dead_count > 0) {
+    return core::kdist_graph(compact_live(im.pts, im.live), k);
+  }
   return core::kdist_graph(im.pts, k);
 }
 
 core::RtKnnResult Clusterer::knn(std::uint32_t k) const {
+  const Impl& im = *impl_;
   core::RtKnnOptions o;
-  o.device.build.width = impl_->opts.width;
-  o.device.threads = impl_->opts.threads;
-  return core::rt_knn(impl_->pts, k, o);
+  o.device.build.width = im.opts.width;
+  o.device.threads = im.opts.threads;
+  if (im.dead_count > 0) {
+    return core::rt_knn(compact_live(im.pts, im.live), k, o);
+  }
+  return core::rt_knn(im.pts, k, o);
 }
 
 std::span<const Vec3> Clusterer::points() const { return impl_->pts; }

@@ -35,6 +35,31 @@
 // this); triangle-geometry sessions delegate to RtDbscanRunner, whose runs
 // allocate their result vectors.
 //
+// Live sessions (streaming / incremental maintenance):
+//   * insert(points) appends new points, remove(ids) tombstones existing
+//     ones, advance(points, expire) does both in sliding-window form.  Each
+//     mutation keeps the session's LAST clustering current incrementally:
+//     the spatial index absorbs the batch where its contract allows
+//     (delta-tail inserts and masked removals on the tree backends, with
+//     amortized refits; grid/dense-box rebuild — they cannot absorb
+//     inserts), neighbor counts are maintained with one ε-query per mutated
+//     point, and labels are repaired by re-unioning only the affected
+//     ε-neighborhoods through a miniature phase 2 (unaffected clusters keep
+//     their labels untouched).  result() is the maintained clustering,
+//     identical (up to border ambiguity) to a from-scratch run at the same
+//     parameters — tests/test_incremental.cpp enforces parity after every
+//     mutation.
+//   * Ids are SLOT ids and stay stable across mutations: removed points
+//     keep their slot, labeled kNoise with is_core 0 and neighbor count 0
+//     (they also remain in the result's noise bucket — filter with
+//     is_live()).  size() counts all slots; live_count() the survivors.
+//   * Mutations are WRITER operations (same column as run() in the
+//     thread-safety table).  Concurrent readers are never torn: a mutation
+//     unpublishes the current snapshot and either mutates a structure no
+//     snapshot aliases or swaps in a replacement; readers holding the old
+//     snapshot keep the pre-mutation index AND the pre-mutation storage
+//     alive (appends copy-on-write when a snapshot co-owns the buffer).
+//
 // The one-shot rtd::cluster() free function (core/api.hpp) is a thin
 // wrapper over a throwaway session; existing callers are unaffected.
 //
@@ -137,6 +162,13 @@ struct RunStats {
   /// Phase 1 was skipped: neighbor counts cached by an earlier run at this
   /// eps were reused (min_pts-only rerun).
   bool counts_reused = false;
+  /// The result was updated IN PLACE by insert()/remove()/advance() instead
+  /// of a full run: phase1/phase2 and the timings cover only the LAST
+  /// mutation's maintenance work (per-mutated-point count queries and the
+  /// localized label repair).  index_rebuilt reports whether that mutation
+  /// crossed the rebuild threshold (or hit a backend that cannot absorb the
+  /// batch) and rebuilt the index over the live set.
+  bool incremental = false;
   /// Per-phase wall clock.  index_build_seconds is the build OR refit cost
   /// this run paid (0 when the index was reused as-is).
   dbscan::PhaseTimings timings;
@@ -272,6 +304,52 @@ class Clusterer {
   /// result rather than moved-from remains).
   [[nodiscard]] ClusterResult take_result();
 
+  // --- Live sessions: incremental mutation (sphere-geometry sessions) -----
+
+  /// Append `new_points` to the session and update the last clustering
+  /// incrementally (see the file comment).  Returns the slot id of the
+  /// first inserted point; the batch occupies [returned, returned + count).
+  /// WRITER operation.  Requires a current result — call after run() or
+  /// sweep(), not before and not after take_result() (std::logic_error),
+  /// and not on an early-exit session (its cached counts are capped, and
+  /// maintenance needs exact ones) or a triangle-geometry session.  Throws
+  /// std::invalid_argument on non-finite coordinates (session unchanged).
+  /// The index absorbs the batch in place while the accumulated mutation
+  /// delta stays under the rebuild threshold (max(64, live/8) slots) and no
+  /// snapshot aliases the structure; past either, this mutation rebuilds
+  /// the index over the live set (stats.index_rebuilt reports which).
+  std::size_t insert(std::span<const geom::Vec3> new_points);
+
+  /// Tombstone the given slot ids and update the last clustering
+  /// incrementally.  Ids keep their slots (labels/is_core/neighbor_counts
+  /// stay index-aligned; the dead slots read kNoise / 0 / 0).  WRITER
+  /// operation; same session preconditions as insert().  Throws
+  /// std::invalid_argument on an out-of-range id, an already-removed id, or
+  /// a duplicate id within the batch — validated up front, so a throwing
+  /// call leaves the session unchanged.
+  void remove(std::span<const std::uint32_t> ids);
+
+  /// Sliding-window step: expire the `expire_count` OLDEST live points
+  /// (insertion order) and append `new_points`, maintaining the clustering
+  /// through both.  Returns the first inserted slot id.  WRITER operation;
+  /// preconditions of insert()/remove() apply, plus expire_count must not
+  /// exceed live_count().  This is the streaming loop of the trajectory /
+  /// geospatial examples: one advance() per window step instead of a
+  /// rebuild + recluster of the whole window.
+  std::size_t advance(std::span<const geom::Vec3> new_points,
+                      std::size_t expire_count);
+
+  /// The maintained clustering: the last run()/sweep() result, updated in
+  /// place by every mutation since.  Same storage run() returns a reference
+  /// to; valid until the next writer call.  Throws std::logic_error when no
+  /// current result exists (before the first run, or after take_result()).
+  [[nodiscard]] const ClusterResult& result() const;
+
+  /// Live (non-tombstoned) points.  size() counts all slots, dead included.
+  [[nodiscard]] std::size_t live_count() const;
+  /// Whether slot `id` is live.  Throws std::invalid_argument out of range.
+  [[nodiscard]] bool is_live(std::uint32_t id) const;
+
   /// Cluster once per eps value (returned in input order) — the
   /// k-dist-style parameter exploration loop of §VI-B, executed as a
   /// session-optimized plan instead of k independent runs:
@@ -312,6 +390,7 @@ class Clusterer {
   std::vector<std::uint32_t> query_neighbors(const geom::Vec3& center,
                                              float eps);
   /// Same, for dataset point `i` (excluded from its own neighborhood).
+  /// Throws std::invalid_argument for an out-of-range or removed slot.
   std::vector<std::uint32_t> query_neighbors(std::uint32_t i, float eps);
 
   // --- Concurrent serving layer (sphere-geometry sessions) ----------------
@@ -350,6 +429,7 @@ class Clusterer {
   /// k-distance graph of the dataset (ε-selection, Ester et al.'s recipe),
   /// computed with the RT-kNN extension.  Standalone passthrough: does not
   /// touch the session index.  k = 0 applies the classic 2 * dims default.
+  /// In a live session only the LIVE points participate.
   [[nodiscard]] core::KdistResult kdist(std::uint32_t k = 0) const;
 
   /// Suggested ε: the knee of the k-distance graph.

@@ -43,10 +43,59 @@ rt::LaunchStats index_phase1(const index::NeighborIndex& index,
       early_exit ? params.min_pts - 1 : index::kNoCap;
   const std::span<const geom::Vec3> points = index.points();
 
+  // One query per ORDER entry, not per slot: a live session passes an order
+  // that skips tombstoned slots, whose counts stay 0 from the assign above.
   return rt::parallel_launch(
-      n, threads, [&](rt::TraversalStats& stats, std::size_t k) {
+      order.size(), threads, [&](rt::TraversalStats& stats, std::size_t k) {
         const std::uint32_t i = order[k];
         counts[i] = index.query_count(points[i], params.eps, i, stats, cap);
+      });
+}
+
+rt::LaunchStats index_phase1_remove(const index::NeighborIndex& index,
+                                    float eps,
+                                    std::span<const std::uint32_t> removed,
+                                    std::vector<std::uint32_t>& counts,
+                                    std::vector<std::uint32_t>& nbr_ids,
+                                    std::vector<std::uint32_t>& nbr_starts) {
+  const std::span<const geom::Vec3> points = index.points();
+  nbr_ids.clear();
+  nbr_starts.resize(removed.size() + 1);
+  nbr_starts[0] = 0;
+  // Serial launch (threads = 1): the decrements and CSR appends are plain
+  // stores and the LaunchStats stay honest about the per-mutation cost.
+  return rt::parallel_launch(
+      removed.size(), 1, [&](rt::TraversalStats& stats, std::size_t k) {
+        const std::uint32_t r = removed[k];
+        index.query_sphere(points[r], eps, r,
+                           [&](std::uint32_t j) {
+                             --counts[j];
+                             nbr_ids.push_back(j);
+                           },
+                           stats);
+        nbr_starts[k + 1] = static_cast<std::uint32_t>(nbr_ids.size());
+      });
+}
+
+rt::LaunchStats index_phase1_insert(const index::NeighborIndex& index,
+                                    float eps, std::size_t first_new,
+                                    std::vector<std::uint32_t>& counts) {
+  const std::size_t n = index.size();
+  const std::span<const geom::Vec3> points = index.points();
+  counts.resize(n, 0);
+  return rt::parallel_launch(
+      n - first_new, 1, [&](rt::TraversalStats& stats, std::size_t k) {
+        const auto i = static_cast<std::uint32_t>(first_new + k);
+        std::uint32_t mine = 0;
+        index.query_sphere(points[i], eps, i,
+                           [&](std::uint32_t j) {
+                             ++mine;
+                             // Pre-existing neighbors gain one; new-new
+                             // pairs resolve through each side's own query.
+                             if (j < first_new) ++counts[j];
+                           },
+                           stats);
+        counts[i] = mine;
       });
 }
 
@@ -56,11 +105,12 @@ rt::LaunchStats index_phase2(const index::NeighborIndex& index, float eps,
                              dsu::AtomicDisjointSet& dsu,
                              std::span<std::atomic<std::uint8_t>> claimed,
                              int threads) {
-  const std::size_t n = index.size();
   const std::span<const geom::Vec3> points = index.points();
 
+  // Like phase 1: the order defines which points query (live sessions pass
+  // a live-only order; dead slots are never core, so skipping is free).
   return rt::parallel_launch(
-      n, threads, [&](rt::TraversalStats& stats, std::size_t k) {
+      order.size(), threads, [&](rt::TraversalStats& stats, std::size_t k) {
         const std::uint32_t i = order[k];
         if (!is_core[i]) return;  // only core points initiate merges
         index.query_sphere(

@@ -61,6 +61,37 @@ rt::LaunchStats index_phase1(const index::NeighborIndex& index,
                              bool early_exit, int threads,
                              std::vector<std::uint32_t>& counts);
 
+/// Incremental phase-1 maintenance for a REMOVAL batch: for every id in
+/// `removed`, one ε-query discovers its neighbors and decrements their
+/// counts.  Must run while the removed ids are still LIVE in the index
+/// (before try_remove) so the queries still resolve; decrements landing on
+/// other members of the same batch are moot — the caller zeroes the counts
+/// of every removed id afterwards.  Runs serially: batches are small by
+/// design (the session's rebuild threshold bounds them) and the decrements
+/// would otherwise race.
+///
+/// The discovered neighborhoods are also captured into the CSR pair
+/// (`nbr_ids`, `nbr_starts`) — `nbr_starts[k]..nbr_starts[k+1]` spans
+/// `removed[k]`'s neighbors — because the label-repair stage needs exactly
+/// these lists (cut-adjacent cores and orphaned borders) and capturing
+/// them here costs no extra queries.  Lists may contain other members of
+/// the same batch; consumers filter by liveness.
+rt::LaunchStats index_phase1_remove(const index::NeighborIndex& index,
+                                    float eps,
+                                    std::span<const std::uint32_t> removed,
+                                    std::vector<std::uint32_t>& counts,
+                                    std::vector<std::uint32_t>& nbr_ids,
+                                    std::vector<std::uint32_t>& nbr_starts);
+
+/// Incremental phase-1 maintenance for an INSERT batch: for every new id in
+/// [first_new, index.size()), one ε-query sets its own count and increments
+/// each PRE-EXISTING neighbor's count (new-new pairs are covered by each
+/// new point's own query).  Must run after the index absorbed the batch.
+/// `counts` is grown to index.size().  Serial, like index_phase1_remove.
+rt::LaunchStats index_phase1_insert(const index::NeighborIndex& index,
+                                    float eps, std::size_t first_new,
+                                    std::vector<std::uint32_t>& counts);
+
 /// Phase 2 over any index: concurrent union-find merges initiated by core
 /// points (Alg. 3 lines 7-18); border points claimed atomically through
 /// `claimed`.

@@ -33,6 +33,20 @@ class AtomicDisjointSet {
     }
   }
 
+  /// Reset to n singleton sets, growing the parent array when n exceeds the
+  /// current capacity (std::atomic is immovable, so growth reallocates — a
+  /// documented growth point of the incremental-maintenance path; shrinking
+  /// requests keep the larger array and reset only the prefix in use).
+  /// Quiescent only, like reset().
+  void reset(std::size_t n) {
+    if (n > parent_.size()) {
+      parent_ = std::vector<std::atomic<std::uint32_t>>(n);
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      parent_[i].store(i, std::memory_order_relaxed);
+    }
+  }
+
   /// Current representative of x (with path halving).  Safe to call
   /// concurrently with unite(); the result is a set member that is a root at
   /// some point during the call.

@@ -13,7 +13,8 @@ void BruteForceIndex::query_sphere(const geom::Vec3& center, float eps,
   const float eps2 = eps * eps;
   for (std::uint32_t j = 0; j < points_.size(); ++j) {
     ++stats.isect_calls;
-    if (j != self && geom::distance_squared(center, points_[j]) <= eps2) {
+    if (j != self && !is_dead(j) &&
+        geom::distance_squared(center, points_[j]) <= eps2) {
       visit(j);
     }
   }
@@ -29,7 +30,8 @@ std::uint32_t BruteForceIndex::query_count(const geom::Vec3& center,
   std::uint32_t count = 0;
   for (std::uint32_t j = 0; j < points_.size(); ++j) {
     ++stats.isect_calls;
-    if (j != self && geom::distance_squared(center, points_[j]) <= eps2) {
+    if (j != self && !is_dead(j) &&
+        geom::distance_squared(center, points_[j]) <= eps2) {
       if (++count >= stop_at) return count;
     }
   }

@@ -47,6 +47,18 @@ class BruteForceIndex final : public NeighborIndex {
     return true;
   }
 
+  /// Insert contract: rebind the span — the scan covers the appended tail
+  /// natively.
+  bool do_try_insert(std::span<const geom::Vec3> all_points,
+                     std::size_t first_new) override {
+    (void)first_new;
+    points_ = all_points;
+    return true;
+  }
+
+  // Removal: the base dead mask alone (checked in the scan loops) suffices
+  // — the default do_try_remove already returns true.
+
   std::span<const geom::Vec3> points_;
   float eps_;
 };

@@ -12,7 +12,18 @@ BvhRtIndex::BvhRtIndex(std::span<const geom::Vec3> points, float eps,
                        const rt::Context::Options& options)
     : ctx_(options),
       accel_(ctx_.build_spheres(
-          std::vector<geom::Vec3>(points.begin(), points.end()), eps)) {}
+          std::vector<geom::Vec3>(points.begin(), points.end()), eps)),
+      points_(points),
+      built_count_(points.size()) {}
+
+bool BvhRtIndex::do_try_remove(std::span<const std::uint32_t> ids) {
+  removed_since_refit_ += ids.size();
+  if (removed_since_refit_ >= refit_threshold() && built_count_ > 0) {
+    accel_.refit_live(dead_mask());
+    removed_since_refit_ = 0;
+  }
+  return true;
+}
 
 void BvhRtIndex::require_radius(float eps) const {
   if (eps != accel_.radius()) {
@@ -33,9 +44,23 @@ void BvhRtIndex::query_sphere(const geom::Vec3& center, float eps,
       ray,
       [&](std::uint32_t prim) {
         // Intersection program: exact point-in-sphere test (Alg. 2 line 6).
-        if (prim != self && accel_.origin_inside(ray, prim)) visit(prim);
+        if (prim != self && !is_dead(prim) &&
+            accel_.origin_inside(ray, prim)) {
+          visit(prim);
+        }
       },
       stats);
+  // Delta tail (incremental inserts since the scene build): linear exact
+  // scan — no structure yet, identical set semantics.
+  const float eps2 = eps * eps;
+  for (std::uint32_t j = static_cast<std::uint32_t>(built_count_);
+       j < points_.size(); ++j) {
+    ++stats.isect_calls;
+    if (j != self && !is_dead(j) &&
+        geom::distance_squared(center, points_[j]) <= eps2) {
+      visit(j);
+    }
+  }
 }
 
 std::uint32_t BvhRtIndex::query_count(const geom::Vec3& center, float eps,
@@ -49,9 +74,21 @@ std::uint32_t BvhRtIndex::query_count(const geom::Vec3& center, float eps,
   accel_.trace(
       ray,
       [&](std::uint32_t prim) {
-        if (prim != self && accel_.origin_inside(ray, prim)) ++count;
+        if (prim != self && !is_dead(prim) &&
+            accel_.origin_inside(ray, prim)) {
+          ++count;
+        }
       },
       stats);
+  const float eps2 = eps * eps;
+  for (std::uint32_t j = static_cast<std::uint32_t>(built_count_);
+       j < points_.size(); ++j) {
+    ++stats.isect_calls;
+    if (j != self && !is_dead(j) &&
+        geom::distance_squared(center, points_[j]) <= eps2) {
+      ++count;
+    }
+  }
   return count;
 }
 
@@ -64,10 +101,15 @@ void BvhRtIndex::query_box(const geom::Aabb& box, NeighborVisitor visit,
       accel_.bvh(), accel_.wide_bvh(), accel_.quantized_bvh(), box,
       [&](std::uint32_t prim) {
         ++stats.isect_calls;
-        if (box.contains(centers[prim])) visit(prim);
+        if (!is_dead(prim) && box.contains(centers[prim])) visit(prim);
         return rt::TraversalControl::kContinue;
       },
       stats);
+  for (std::uint32_t j = static_cast<std::uint32_t>(built_count_);
+       j < points_.size(); ++j) {
+    ++stats.isect_calls;
+    if (!is_dead(j) && box.contains(points_[j])) visit(j);
+  }
 }
 
 }  // namespace rtd::index

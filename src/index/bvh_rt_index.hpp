@@ -13,6 +13,7 @@
 //     the trade bench_fig9_early_exit measures).
 #pragma once
 
+#include <algorithm>
 #include <span>
 
 #include "index/neighbor_index.hpp"
@@ -30,7 +31,7 @@ class BvhRtIndex final : public NeighborIndex {
 
   [[nodiscard]] IndexKind kind() const override { return IndexKind::kBvhRt; }
   [[nodiscard]] std::span<const geom::Vec3> points() const override {
-    return accel_.centers();
+    return points_;
   }
   [[nodiscard]] float build_eps() const override { return accel_.radius(); }
 
@@ -60,16 +61,40 @@ class BvhRtIndex final : public NeighborIndex {
   /// Refit contract: always satisfiable — set_radius() rescales the sphere
   /// scene and refits every traversal layout in place, 5-10x cheaper than
   /// a rebuild (§VI-B).  Reached through NeighborIndex::try_set_eps, which
-  /// owns the eps validation.
+  /// owns the eps validation.  The delta tail carries no structure, so the
+  /// refit covers it trivially (its exact test reads the new radius).
   bool do_try_set_eps(float eps) override {
     accel_.set_radius(eps);
     return true;
+  }
+
+  /// Insert contract: rebind the external span — the sphere scene keeps
+  /// covering the build-time prefix [0, built_count_) (the accel owns its
+  /// own copy of those centers) and queries scan the appended DELTA TAIL
+  /// [built_count_, size) with the exact point-in-sphere test.  The
+  /// session's rebuild threshold bounds the tail length.
+  bool do_try_insert(std::span<const geom::Vec3> all_points,
+                     std::size_t first_new) override {
+    (void)first_new;
+    points_ = all_points;
+    return true;
+  }
+
+  /// Removal: base mask filters immediately; an amortized masked refit
+  /// (SphereAccel::refit_live) re-tightens the scene around the survivors.
+  bool do_try_remove(std::span<const std::uint32_t> ids) override;
+
+  [[nodiscard]] std::size_t refit_threshold() const {
+    return std::max<std::size_t>(256, built_count_ / 64);
   }
 
   void require_radius(float eps) const;
 
   rt::Context ctx_;
   rt::SphereAccel accel_;
+  std::span<const geom::Vec3> points_;  ///< full span incl. the delta tail
+  std::size_t built_count_;  ///< prims the scene covers; the rest is delta
+  std::size_t removed_since_refit_ = 0;
 };
 
 }  // namespace rtd::index

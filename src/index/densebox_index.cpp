@@ -124,15 +124,17 @@ void DenseBoxIndex::for_neighbors_until(const Vec3& center, float eps,
       return true;
     }
     if (max_distance_squared(center, c.bounds.lo, c.bounds.hi) <= eps2) {
-      // Whole-cell certificate: every member is a neighbor, no tests.
+      // Whole-cell certificate: every LIVE member is a neighbor, no tests
+      // (removals don't re-tighten cell bounds, so the certificate stays
+      // valid for the survivors — a dead member only ever widened it).
       for (const auto m : c.members) {
-        if (m != self && !on_neighbor(m)) return false;
+        if (m != self && !is_dead(m) && !on_neighbor(m)) return false;
       }
       return true;
     }
     for (const auto m : c.members) {
       ++stats.isect_calls;
-      if (m != self &&
+      if (m != self && !is_dead(m) &&
           geom::distance_squared(center, points_[m]) <= eps2) {
         if (!on_neighbor(m)) return false;
       }
@@ -144,7 +146,8 @@ void DenseBoxIndex::for_neighbors_until(const Vec3& center, float eps,
     // than points — degrade to a counted linear scan.
     for (std::uint32_t j = 0; j < points_.size(); ++j) {
       ++stats.isect_calls;
-      if (j != self && geom::distance_squared(center, points_[j]) <= eps2) {
+      if (j != self && !is_dead(j) &&
+          geom::distance_squared(center, points_[j]) <= eps2) {
         if (!on_neighbor(j)) return;
       }
     }
@@ -178,12 +181,14 @@ void DenseBoxIndex::query_box(const Aabb& box, NeighborVisitor visit,
   const bool walked = for_cells_overlapping(box, [&](const Cell& c) {
     ++stats.aabb_tests;
     if (box.contains(c.bounds)) {
-      for (const auto m : c.members) visit(m);
+      for (const auto m : c.members) {
+        if (!is_dead(m)) visit(m);
+      }
       return true;
     }
     for (const auto m : c.members) {
       ++stats.isect_calls;
-      if (box.contains(points_[m])) visit(m);
+      if (!is_dead(m) && box.contains(points_[m])) visit(m);
     }
     return true;
   });

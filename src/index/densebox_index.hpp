@@ -64,6 +64,14 @@ class DenseBoxIndex final : public NeighborIndex {
       FunctionRef<void(std::span<const std::uint32_t>)> f) const;
 
  private:
+  // Mutation contract: inserts decline (base do_try_insert — cells hold
+  // their own membership copy, so the caller rebuilds); removals ride the
+  // base dead mask, filtered in BOTH member branches of the walk (the
+  // whole-cell certificate stays valid for the survivors: cell bounds are
+  // never re-tightened, a dead member only ever widened them).
+  // for_each_cell still enumerates dead members — its one consumer
+  // (fdbscan_densebox) always builds a fresh index.
+
   struct Cell {
     /// TIGHT bounds of the members (not the nominal cell box): exact for
     /// both certificates — min-distance beyond ε to this box proves no

@@ -25,7 +25,8 @@ void GridIndex::query_sphere(const geom::Vec3& center, float eps,
   const float eps2 = eps * eps;
   grid_.for_candidates(center, [&](std::uint32_t j) {
     ++stats.isect_calls;
-    if (j != self && geom::distance_squared(center, points_[j]) <= eps2) {
+    if (j != self && !is_dead(j) &&
+        geom::distance_squared(center, points_[j]) <= eps2) {
       visit(j);
     }
   });
@@ -42,7 +43,8 @@ std::uint32_t GridIndex::query_count(const geom::Vec3& center, float eps,
   std::uint32_t count = 0;
   grid_.for_candidates_until(center, [&](std::uint32_t j) {
     ++stats.isect_calls;
-    if (j != self && geom::distance_squared(center, points_[j]) <= eps2) {
+    if (j != self && !is_dead(j) &&
+        geom::distance_squared(center, points_[j]) <= eps2) {
       if (++count >= stop_at) return false;
     }
     return true;
@@ -80,7 +82,7 @@ void GridIndex::query_box(const geom::Aabb& box, NeighborVisitor visit,
   ++stats.rays;
   grid_.for_candidates_in_box(lo, hi, [&](std::uint32_t j) {
     ++stats.isect_calls;
-    if (box.contains(points_[j])) visit(j);
+    if (!is_dead(j) && box.contains(points_[j])) visit(j);
   });
 }
 

@@ -44,6 +44,11 @@ class GridIndex final : public NeighborIndex {
   [[nodiscard]] const dbscan::GridIndex& grid() const { return grid_; }
 
  private:
+  // Mutation contract: inserts decline (base do_try_insert — the wrapped
+  // grid's cell arrays hold their own membership copy, so the caller
+  // rebuilds); removals ride the base dead mask, filtered in the candidate
+  // loops above.
+
   void require_radius(float eps) const;
 
   std::span<const geom::Vec3> points_;

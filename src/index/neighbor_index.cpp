@@ -26,6 +26,42 @@ bool NeighborIndex::try_set_eps(float eps) {
   return do_try_set_eps(eps);
 }
 
+bool NeighborIndex::try_insert(std::span<const geom::Vec3> all_points,
+                               std::size_t first_new) {
+  // Validated once here so backend hooks cannot mis-handle a malformed
+  // span: the prefix must be exactly the points already indexed.
+  if (first_new > all_points.size() || first_new != size()) {
+    throw std::invalid_argument(
+        "try_insert: all_points must be the current points plus an appended "
+        "batch (first_new == size() <= all_points.size())");
+  }
+  const bool ok = do_try_insert(all_points, first_new);
+  // Keep the mask covering every id; new points are born live.
+  if (ok && !dead_.empty()) dead_.resize(all_points.size(), 0);
+  return ok;
+}
+
+bool NeighborIndex::try_remove(std::span<const std::uint32_t> ids) {
+  const std::size_t n = size();
+  for (const std::uint32_t id : ids) {
+    if (id >= n) {
+      throw std::invalid_argument("try_remove: id out of range");
+    }
+  }
+  if (ids.empty()) return true;
+  if (dead_.size() != n) dead_.resize(n, 0);
+  for (const std::uint32_t id : ids) {
+    if (dead_[id] == 0) {
+      dead_[id] = 1;
+      ++dead_count_;
+    }
+  }
+  has_dead_ = true;
+  // The mask is set BEFORE the hook so a masked refit inside it sees the
+  // whole batch; on a false return the caller discards the index anyway.
+  return do_try_remove(ids);
+}
+
 std::uint32_t NeighborIndex::query_count(const geom::Vec3& center, float eps,
                                          std::uint32_t self,
                                          rt::TraversalStats& stats,
@@ -45,7 +81,7 @@ void NeighborIndex::query_box(const geom::Aabb& box, NeighborVisitor visit,
   const std::span<const geom::Vec3> pts = points();
   for (std::uint32_t j = 0; j < pts.size(); ++j) {
     ++stats.isect_calls;
-    if (box.contains(pts[j])) visit(j);
+    if (!is_dead(j) && box.contains(pts[j])) visit(j);
   }
 }
 
@@ -55,6 +91,7 @@ rt::LaunchStats NeighborIndex::query_all(float eps, PairVisitor visit,
   return rt::parallel_launch(
       pts.size(), threads, [&](rt::TraversalStats& stats, std::size_t i) {
         const auto self = static_cast<std::uint32_t>(i);
+        if (is_dead(self)) return;  // dead points neither query nor appear
         query_sphere(pts[i], eps, self,
                      [&](std::uint32_t j) { visit(self, j); }, stats);
       });

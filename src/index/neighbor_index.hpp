@@ -17,12 +17,17 @@
 //    visit ORDER is backend-defined (tests/test_neighbor_index.cpp enforces
 //    set parity).
 //  * Queries are const and safe to run concurrently from many threads.
+//  * Live-session mutations (try_insert/try_remove below) are WRITER
+//    operations — single-threaded, never concurrent with queries on the
+//    same index object (rtd::Clusterer's snapshot layer enforces that by
+//    swapping aliased structures instead of mutating them).
 #pragma once
 
 #include <cstdint>
 #include <limits>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "common/function_ref.hpp"
 #include "geom/aabb.hpp"
@@ -94,6 +99,44 @@ class NeighborIndex {
   /// overrides (do_try_set_eps) cannot forget the check.
   bool try_set_eps(float eps);
 
+  /// Incremental INSERT contract (rtd::Clusterer live sessions).
+  ///
+  /// `all_points` is the FULL, possibly-relocated point span: its prefix
+  /// [0, first_new) is value-identical to the points the index was built
+  /// over (same coordinates, same ids — the caller's storage may have
+  /// reallocated, so the ADDRESSES may differ) and [first_new, size) is the
+  /// appended batch.  first_new must equal size() (std::invalid_argument
+  /// otherwise); first_new == all_points.size() is a pure REBIND — no new
+  /// points, just retarget the span after a storage relocation.
+  ///
+  /// Returns true when the index absorbed the batch — points() now reports
+  /// `all_points` and queries see the new ids:
+  ///   * kBruteForce — true: rebind, the scan covers the new tail natively;
+  ///   * kPointBvh / kBvhRt — true: the tree keeps covering the build-time
+  ///     prefix and the appended DELTA TAIL is scanned linearly per query
+  ///     (exact filter, same set semantics).  The session's rebuild
+  ///     threshold bounds how long that tail can grow;
+  ///   * kGrid / kDenseBox — false, index untouched: their cell arrays hold
+  ///     their own copy of the membership and cannot absorb new ids — the
+  ///     caller rebuilds via make_index() (their build is O(n) anyway).
+  /// After a false return the index MUST be discarded: the caller's storage
+  /// may already have relocated, invalidating the span the index holds.
+  bool try_insert(std::span<const geom::Vec3> all_points,
+                  std::size_t first_new);
+
+  /// Incremental REMOVE contract: mark dataset ids dead.  Every backend
+  /// filters dead ids out of every query through the shared mask this base
+  /// class owns (is_dead() in the exact-test hot loops), so removal is
+  /// always absorbable — returns true on every in-tree backend.  The tree
+  /// backends additionally tighten their node bounds around the survivors
+  /// with an amortized masked refit.  Ids must be in range
+  /// (std::invalid_argument); re-removing a dead id is a harmless no-op.
+  /// A false return follows the try_insert rule: discard the index.
+  bool try_remove(std::span<const std::uint32_t> ids);
+
+  /// Number of ids currently masked dead.
+  [[nodiscard]] std::size_t removed_count() const { return dead_count_; }
+
   /// Visit every dataset index j != self with |points[j] - center| <= eps
   /// (inclusive).  Exactly one query's worth of work counters (one "ray")
   /// accumulates into `stats`.
@@ -133,6 +176,41 @@ class NeighborIndex {
     (void)eps;
     return false;
   }
+
+  /// Backend hook behind try_insert(): arguments already validated.
+  /// Default: inserts unsupported — the caller rebuilds.
+  virtual bool do_try_insert(std::span<const geom::Vec3> all_points,
+                             std::size_t first_new) {
+    (void)all_points;
+    (void)first_new;
+    return false;
+  }
+
+  /// Backend hook behind try_remove(): the base mask is ALREADY set when
+  /// this runs (so a masked refit here sees the full batch); a false return
+  /// means the caller discards the index, so the stale mask is moot.
+  /// Default: the mask alone absorbs the removal.
+  virtual bool do_try_remove(std::span<const std::uint32_t> ids) {
+    (void)ids;
+    return true;
+  }
+
+  /// Dead-id test for the exact-filter hot loops: one branch on a bool in
+  /// the common (no removals yet) case.
+  [[nodiscard]] bool is_dead(std::uint32_t j) const {
+    return has_dead_ && dead_[j] != 0;
+  }
+
+  /// The full mask (empty until the first removal; size() entries after),
+  /// for backends that replay it into a structure refit.
+  [[nodiscard]] std::span<const std::uint8_t> dead_mask() const {
+    return dead_;
+  }
+
+ private:
+  std::vector<std::uint8_t> dead_;  ///< 1 = masked out of every query
+  std::size_t dead_count_ = 0;
+  bool has_dead_ = false;
 };
 
 /// Build configuration shared by the tree-based backends.

@@ -9,13 +9,31 @@ namespace rtd::index {
 
 PointBvhIndex::PointBvhIndex(std::span<const geom::Vec3> points, float eps,
                              const rt::BuildOptions& build)
-    : points_(points), eps_(eps) {
+    : points_(points), eps_(eps), built_count_(points.size()) {
   std::vector<geom::Aabb> bounds(points.size());
   parallel_for(points.size(), [&](std::size_t i) {
     bounds[i] = geom::Aabb::of_point(points_[i]);
   });
   bvh_ = rt::build_bvh(bounds, build);
   rt::derive_wide_layouts(bvh_, build, points.size(), wide_, quantized_);
+}
+
+bool PointBvhIndex::do_try_remove(std::span<const std::uint32_t> ids) {
+  removed_since_refit_ += ids.size();
+  if (removed_since_refit_ >= refit_threshold() && !bvh_.empty()) {
+    // Masked refit: tighten every node around the survivors (dead slots
+    // keep their topology position but stop widening any bounds).  The
+    // mask the base class set covers this batch already.
+    std::vector<geom::Aabb> bounds(built_count_);
+    parallel_for(built_count_, [&](std::size_t i) {
+      bounds[i] = geom::Aabb::of_point(points_[i]);
+    });
+    bvh_.refit(bounds, dead_mask());
+    if (!wide_.empty()) wide_.refit_from(bvh_);
+    if (!quantized_.empty()) quantized_.refit_from(bvh_);
+    removed_since_refit_ = 0;
+  }
+  return true;
 }
 
 // Queries dispatch through rt::traverse_overlap(bvh, wide, quantized, ...):
@@ -33,13 +51,20 @@ void PointBvhIndex::query_sphere(const geom::Vec3& center, float eps,
       bvh_, wide_, quantized_, query,
       [&](std::uint32_t j) {
         ++stats.isect_calls;
-        if (j != self &&
+        if (j != self && !is_dead(j) &&
             geom::distance_squared(center, points_[j]) <= eps2) {
           visit(j);
         }
         return rt::TraversalControl::kContinue;
       },
       stats);
+  scan_delta([&](std::uint32_t j) {
+    ++stats.isect_calls;
+    if (j != self && !is_dead(j) &&
+        geom::distance_squared(center, points_[j]) <= eps2) {
+      visit(j);
+    }
+  });
 }
 
 std::uint32_t PointBvhIndex::query_count(const geom::Vec3& center, float eps,
@@ -57,13 +82,22 @@ std::uint32_t PointBvhIndex::query_count(const geom::Vec3& center, float eps,
       bvh_, wide_, quantized_, query,
       [&](std::uint32_t j) {
         ++stats.isect_calls;
-        if (j != self &&
+        if (j != self && !is_dead(j) &&
             geom::distance_squared(center, points_[j]) <= eps2) {
           if (++count >= stop_at) return rt::TraversalControl::kTerminate;
         }
         return rt::TraversalControl::kContinue;
       },
       stats);
+  if (count >= stop_at) return count;
+  scan_delta([&](std::uint32_t j) {
+    if (count >= stop_at) return;
+    ++stats.isect_calls;
+    if (j != self && !is_dead(j) &&
+        geom::distance_squared(center, points_[j]) <= eps2) {
+      ++count;
+    }
+  });
   return count;
 }
 
@@ -73,10 +107,14 @@ void PointBvhIndex::query_box(const geom::Aabb& box, NeighborVisitor visit,
       bvh_, wide_, quantized_, box,
       [&](std::uint32_t j) {
         ++stats.isect_calls;
-        if (box.contains(points_[j])) visit(j);
+        if (!is_dead(j) && box.contains(points_[j])) visit(j);
         return rt::TraversalControl::kContinue;
       },
       stats);
+  scan_delta([&](std::uint32_t j) {
+    ++stats.isect_calls;
+    if (!is_dead(j) && box.contains(points_[j])) visit(j);
+  });
 }
 
 }  // namespace rtd::index

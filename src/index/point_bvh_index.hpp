@@ -8,6 +8,7 @@
 // cannot express.  Radius-agnostic: one tree serves any query eps.
 #pragma once
 
+#include <algorithm>
 #include <span>
 
 #include "index/neighbor_index.hpp"
@@ -60,8 +61,39 @@ class PointBvhIndex final : public NeighborIndex {
     return true;
   }
 
+  /// Insert contract: rebind the span — the tree keeps covering the
+  /// build-time prefix [0, built_count_) and every query scans the appended
+  /// DELTA TAIL [built_count_, size) linearly with the same exact filter.
+  /// The session's rebuild threshold bounds the tail length.
+  bool do_try_insert(std::span<const geom::Vec3> all_points,
+                     std::size_t first_new) override {
+    (void)first_new;
+    points_ = all_points;
+    return true;
+  }
+
+  /// Removal: the base mask filters queries immediately; once enough
+  /// removals accumulate, a masked refit tightens the node bounds around
+  /// the survivors (amortized — see refit_threshold()).
+  bool do_try_remove(std::span<const std::uint32_t> ids) override;
+
+  [[nodiscard]] std::size_t refit_threshold() const {
+    return std::max<std::size_t>(256, built_count_ / 64);
+  }
+
+  /// Exact-filter scan of the delta tail, shared by the three queries.
+  template <typename Fn>
+  void scan_delta(Fn&& fn) const {
+    for (std::uint32_t j = static_cast<std::uint32_t>(built_count_);
+         j < points_.size(); ++j) {
+      fn(j);
+    }
+  }
+
   std::span<const geom::Vec3> points_;
   float eps_;
+  std::size_t built_count_;  ///< prims the tree covers; the rest is delta
+  std::size_t removed_since_refit_ = 0;
   rt::Bvh bvh_;
   rt::WideBvh wide_;  ///< collapsed layout; empty when traversal is binary
   rt::QuantizedWideBvh quantized_;  ///< kWideQuantized only

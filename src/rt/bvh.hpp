@@ -99,6 +99,17 @@ struct Bvh {
   /// since the LBVH topology depends only on the sphere centers.  O(n),
   /// roughly 5-10x cheaper than a rebuild.
   void refit(std::span<const geom::Aabb> prim_bounds);
+
+  /// Masked refit: like refit(), but primitives with dead[prim] != 0 are
+  /// excluded from the leaf unions, shrinking node bounds around the LIVE
+  /// primitives only (incremental removal maintenance — the topology keeps
+  /// the dead slots, traversal just never tightens onto them again).  A leaf
+  /// whose primitives are ALL dead keeps its previous bounds: a never-hit
+  /// stale box is conservative and stays finite, which the quantized layout
+  /// requires (an inverted empty box has no representable anchor/scale).
+  /// `dead` must cover every primitive id (size >= prim_count()).
+  void refit(std::span<const geom::Aabb> prim_bounds,
+             std::span<const std::uint8_t> dead);
 };
 
 /// Options shared by both builders.

@@ -340,6 +340,39 @@ void Bvh::refit(std::span<const geom::Aabb> prim_bounds) {
   scene_bounds = nodes.empty() ? geom::Aabb{} : nodes[0].bounds;
 }
 
+void Bvh::refit(std::span<const geom::Aabb> prim_bounds,
+                std::span<const std::uint8_t> dead) {
+  if (prim_bounds.size() != prim_index.size()) {
+    throw std::invalid_argument("Bvh::refit: primitive count changed");
+  }
+  if (dead.size() < prim_index.size()) {
+    throw std::invalid_argument(
+        "Bvh::refit: dead mask smaller than the primitive count");
+  }
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    BvhNode& node = nodes[i];
+    if (node.is_leaf()) {
+      geom::Aabb box;
+      bool any_live = false;
+      for (std::uint32_t p = node.left_or_first;
+           p < node.left_or_first + node.count; ++p) {
+        const std::uint32_t prim = prim_index[p];
+        if (dead[prim] != 0) continue;
+        box.grow(prim_bounds[prim]);
+        any_live = true;
+      }
+      // An all-dead leaf keeps its stale (finite, conservative) bounds —
+      // see the header comment: the quantized layout cannot encode an
+      // inverted empty box.
+      if (any_live) node.bounds = box;
+    } else {
+      node.bounds = geom::Aabb::unite(nodes[node.left_or_first].bounds,
+                                      nodes[node.left_or_first + 1].bounds);
+    }
+  }
+  scene_bounds = nodes.empty() ? geom::Aabb{} : nodes[0].bounds;
+}
+
 std::string Bvh::validate(std::span<const geom::Aabb> prim_bounds) const {
   if (nodes.empty()) {
     return prim_index.empty() ? std::string{}

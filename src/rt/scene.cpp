@@ -37,6 +37,16 @@ void SphereAccel::set_radius(float radius) {
   if (!quantized_.empty()) quantized_.refit_from(bvh_);
 }
 
+void SphereAccel::refit_live(std::span<const std::uint8_t> dead) {
+  std::vector<geom::Aabb> bounds(centers_.size());
+  parallel_for(centers_.size(), [&](std::size_t i) {
+    bounds[i] = geom::Aabb::of_sphere(centers_[i], radius_);
+  });
+  bvh_.refit(bounds, dead);
+  if (!wide_.empty()) wide_.refit_from(bvh_);
+  if (!quantized_.empty()) quantized_.refit_from(bvh_);
+}
+
 TriangleAccel::TriangleAccel(std::vector<geom::Triangle> triangles,
                              std::vector<std::uint32_t> owners,
                              const BuildOptions& options)

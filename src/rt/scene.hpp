@@ -81,6 +81,13 @@ class SphereAccel {
   /// for ε sweeps: an accel-update instead of a full rebuild.
   void set_radius(float radius);
 
+  /// REFIT the BVH around the live spheres only: primitives with
+  /// dead[prim] != 0 are dropped from the leaf unions (Bvh's masked refit),
+  /// tightening traversal after incremental removals without touching the
+  /// topology.  `dead` must cover every primitive (size >= size()); the
+  /// radius is unchanged.
+  void refit_live(std::span<const std::uint8_t> dead);
+
  private:
   std::vector<geom::Vec3> centers_;
   float radius_;

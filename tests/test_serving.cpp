@@ -425,5 +425,115 @@ TEST(ServingConcurrent, ConcurrentBatchesDuringSweep) {
   EXPECT_GT(batches.load(), 0u);
 }
 
+TEST(ServingConcurrent, ReadersHammerSnapshotsDuringLiveMutations) {
+  // Writer streams insert()/remove() batches while reader threads hammer
+  // snapshot queries.  Every snapshot is an EPOCH: its size must be one of
+  // the writer's published point counts, and every answer must be
+  // geometrically valid against the snapshot's own points — a torn
+  // structure (mid-mutation index, relocated storage) yields out-of-range
+  // ids or neighbors outside ε.  Run under the `tsan` preset for the
+  // data-race leg.
+  const auto dataset = data::taxi_gps(500, 88);
+  const float eps = 0.25f;
+  constexpr int kReaders = 4;
+  constexpr int kWriterBatches = 40;
+  constexpr std::size_t kBatch = 5;
+  const Vec3 probe{0.5f, 0.5f, 0.0f};
+  const auto extra = data::taxi_gps(kWriterBatches * kBatch, 89);
+
+  std::vector<std::size_t> valid_sizes;
+  for (int b = 0; b <= kWriterBatches; ++b) {
+    valid_sizes.push_back(dataset.size() + static_cast<std::size_t>(b) * kBatch);
+  }
+
+  for (const IndexKind kind : {IndexKind::kBvhRt, IndexKind::kGrid}) {
+    Clusterer session(dataset.points,
+                      Options().with_backend(kind).with_threads(1));
+    (void)session.run(eps, 5);
+
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> torn{0};
+
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (int r = 0; r < kReaders; ++r) {
+      readers.emplace_back([&] {
+        const float eps2 = eps * eps;
+        while (!done.load(std::memory_order_relaxed)) {
+          const auto snap = session.snapshot();
+          if (std::find(valid_sizes.begin(), valid_sizes.end(),
+                        snap->size()) == valid_sizes.end()) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+          const auto ids = snap->query_neighbors(probe);
+          const std::span<const Vec3> pts = snap->points();
+          std::uint32_t prev = 0;
+          bool first = true;
+          for (const std::uint32_t j : ids) {
+            const bool in_range = j < pts.size();
+            const bool in_ball =
+                in_range && geom::distance_squared(probe, pts[j]) <= eps2;
+            const bool ascending = first || j > prev;
+            if (!in_range || !in_ball || !ascending) {
+              torn.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            prev = j;
+            first = false;
+          }
+          reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    // Writer: stream inserts, with a removal wave every fourth batch.
+    std::uint32_t next_removal = 3;
+    for (int b = 0; b < kWriterBatches; ++b) {
+      (void)session.insert(
+          std::span<const Vec3>(extra.points)
+              .subspan(static_cast<std::size_t>(b) * kBatch, kBatch));
+      if (b % 4 == 3) {
+        std::vector<std::uint32_t> ids;
+        while (ids.size() < 3) {
+          if (session.is_live(next_removal)) ids.push_back(next_removal);
+          next_removal += 7;
+        }
+        session.remove(ids);
+      }
+    }
+    // Small batches repair in microseconds, so the writer can finish all
+    // its batches before a reader thread even starts.  Keep serving the
+    // final snapshot until every reader got at least one read in.
+    while (reads.load(std::memory_order_relaxed) <
+           static_cast<std::uint64_t>(kReaders)) {
+      std::this_thread::yield();
+    }
+    done.store(true, std::memory_order_relaxed);
+    for (auto& t : readers) t.join();
+
+    EXPECT_EQ(torn.load(), 0u) << index::to_string(kind);
+    EXPECT_GT(reads.load(), 0u) << index::to_string(kind);
+
+    // The hammer must not have corrupted the session: the maintained
+    // neighbor counts still match a brute count over the live set.
+    const ClusterResult& r = session.result();
+    const float eps2 = eps * eps;
+    for (const std::uint32_t q : {0u, 250u, 499u, 520u}) {
+      if (!session.is_live(q)) continue;
+      std::uint32_t want = 0;
+      for (std::uint32_t j = 0; j < session.size(); ++j) {
+        if (j != q && session.is_live(j) &&
+            geom::distance_squared(session.points()[q],
+                                   session.points()[j]) <= eps2) {
+          ++want;
+        }
+      }
+      EXPECT_EQ(r.neighbor_counts[q], want)
+          << index::to_string(kind) << " slot " << q;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rtd
