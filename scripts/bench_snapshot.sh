@@ -28,11 +28,20 @@
 #   * streaming: steady-state small-batch advance() (B = 1 and B = 64) on a
 #     1M-point live session must stay >= 5x faster than a full rebuild +
 #     recluster of the window (PR 7 floor — incremental maintenance exists
-#     to beat the batch pipeline; the 4096 row is characterization only).
+#     to beat the batch pipeline; the 4096 row is characterization only);
+#   * failpoint overhead: when BENCH_FP_BUILD_DIR (default build/fp) holds a
+#     bench_streaming compiled with -DRTDBSCAN_FAILPOINTS=ON, the same
+#     streaming pass runs there and its gated rows (B = 1 and B = 64) must
+#     stay within 3% of the failpoints-OFF numbers measured in THIS
+#     invocation (the PR 7 baseline shape, re-measured on this machine so
+#     the gate compares like with like).  Configure the instrumented tree
+#     with the same optimization flags as the baseline build or the gate
+#     measures your compiler flags, not the failpoints.  Absent binary ==
+#     the pass is skipped with a note.
 set -euo pipefail
 
 build_dir="${1:-build/release}"
-out_file="${2:-BENCH_PR7.json}"
+out_file="${2:-BENCH_PR8.json}"
 micro="${build_dir}/bench/bench_micro_bvh"
 sweep="${build_dir}/bench/bench_micro_sweep"
 breakdown="${build_dir}/bench/bench_breakdown"
@@ -80,14 +89,28 @@ echo "== bench_streaming (live-session advance() vs full rebuild+recluster)"
 "${streaming}" --json --n "${BENCH_STREAM_N:-1000000}" \
   --reps "${BENCH_REPS:-3}" >"${tmp_dir}/streaming.json"
 
+fp_build_dir="${BENCH_FP_BUILD_DIR:-build/fp}"
+fp_streaming="${fp_build_dir}/bench/bench_streaming"
+if [[ -x "${fp_streaming}" ]]; then
+  echo "== bench_streaming (failpoints-ON build: unarmed overhead <= 3%)"
+  "${fp_streaming}" --json --n "${BENCH_STREAM_N:-1000000}" \
+    --reps "${BENCH_REPS:-3}" >"${tmp_dir}/streaming_fp.json"
+else
+  echo "note: ${fp_streaming} not found — skipping the failpoint overhead" \
+       "gate (build one with cmake -B ${fp_build_dir} -S ." \
+       "-DRTDBSCAN_FAILPOINTS=ON plus the baseline's optimization flags)" >&2
+  echo '{}' >"${tmp_dir}/streaming_fp.json"
+fi
+
 python3 - "${tmp_dir}/micro.json" "${tmp_dir}/sweep.json" \
   "${tmp_dir}/breakdown.csv" "${tmp_dir}/serving.json" \
-  "${tmp_dir}/streaming.json" "${out_file}" <<'PYEOF'
+  "${tmp_dir}/streaming.json" "${tmp_dir}/streaming_fp.json" \
+  "${out_file}" <<'PYEOF'
 import json
 import sys
 
 (micro_path, sweep_path, breakdown_path, serving_path, streaming_path,
- out_path) = sys.argv[1:7]
+ streaming_fp_path, out_path) = sys.argv[1:8]
 with open(micro_path) as f:
     micro = json.load(f)
 with open(sweep_path) as f:
@@ -98,6 +121,8 @@ with open(serving_path) as f:
     serving = json.load(f)
 with open(streaming_path) as f:
     streaming = json.load(f)
+with open(streaming_fp_path) as f:
+    streaming_fp = json.load(f)  # {} when the instrumented build is absent
 
 def median_time(doc, name):
     for b in doc["benchmarks"]:
@@ -129,8 +154,23 @@ for backend in session_backends:
         "session_speedup": ratio(rebuild, refit),
     }
 
+fp_overhead_rows = []
+if streaming_fp.get("rows"):
+    off_by_batch = {r["batch"]: r for r in streaming["rows"]}
+    for fp_row in streaming_fp["rows"]:
+        off_row = off_by_batch.get(fp_row["batch"])
+        if off_row is None:
+            continue
+        fp_overhead_rows.append({
+            "batch": fp_row["batch"],
+            "off_per_mutation_ms": off_row["per_mutation_ms"],
+            "failpoints_on_per_mutation_ms": fp_row["per_mutation_ms"],
+            "overhead_ratio": fp_row["per_mutation_ms"] /
+                              off_row["per_mutation_ms"],
+        })
+
 snapshot = {
-    "pr": 7,
+    "pr": 8,
     "headline": {
         "sphere_mode": {
             "benchmark": "BM_QuerySweep1M (1M-point uniform cube, "
@@ -187,6 +227,16 @@ snapshot = {
             "target": "per-mutation latency at B = 1 and B = 64 >= 5x "
                       "faster than full rebuild + recluster (B = 4096 is "
                       "characterization only)",
+        },
+        "failpoint_overhead": {
+            "benchmark": "bench_streaming rerun from a "
+                         "-DRTDBSCAN_FAILPOINTS=ON build with nothing "
+                         "armed (the unarmed fast path is one relaxed "
+                         "atomic load per site)",
+            "rows": fp_overhead_rows,
+            "target": "per-mutation latency at B = 1 and B = 64 within "
+                      "3% of the failpoints-OFF build measured in the "
+                      "same invocation",
         },
     },
     "context": micro.get("context", {}),
@@ -262,4 +312,24 @@ if not gated_batches <= seen_batches:
     print("FAIL: streaming rows for the gated batch sizes (1, 64) missing",
           file=sys.stderr)
     sys.exit(1)
+if fp_overhead_rows:
+    fp_seen = set()
+    for row in fp_overhead_rows:
+        print(f"headline: failpoints-ON B={row['batch']} "
+              f"{row['failpoints_on_per_mutation_ms']:.2f}ms/mutation "
+              f"({row['overhead_ratio']:.3f}x the failpoints-OFF build)")
+        fp_seen.add(row["batch"])
+        if row["batch"] in gated_batches and row["overhead_ratio"] > 1.03:
+            print(f"FAIL: failpoint instrumentation costs "
+                  f"{(row['overhead_ratio'] - 1) * 100:.1f}% at "
+                  f"B={row['batch']} (floor: <= 3% unarmed overhead)",
+                  file=sys.stderr)
+            sys.exit(1)
+    if not gated_batches <= fp_seen:
+        print("FAIL: failpoints-ON streaming rows for the gated batch "
+              "sizes (1, 64) missing", file=sys.stderr)
+        sys.exit(1)
+else:
+    print("note: failpoint overhead gate skipped (no instrumented "
+          "bench_streaming)")
 PYEOF

@@ -9,8 +9,10 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/failpoint.hpp"
 #include "common/timer.hpp"
 #include "dbscan/engine.hpp"
+#include "dbscan/equivalence.hpp"
 #include "index/compacted_index.hpp"
 
 namespace rtd {
@@ -84,6 +86,16 @@ struct Clusterer::Impl {
   /// cleared by take_result() (mutations then have no baseline and throw).
   bool result_current = false;
 
+  // --- failure model (see SessionHealth in the header) ---------------------
+  /// kDegraded: a fault tore the result buffers after the session's
+  /// committed state (points, mask, counts) was already updated.  The next
+  /// writer call heals by a full re-cluster at (last_eps, last_min_pts).
+  SessionHealth health = SessionHealth::kHealthy;
+  /// Parameters of the last requested clustering — what heal() re-runs.
+  float last_eps = 0.0f;
+  std::uint32_t last_min_pts = 0;
+  bool params_valid = false;
+
   // --- the concurrent serving layer ---------------------------------------
   // Readers (snapshot(), const query_neighbors/query_batch) take ONE atomic
   // load in steady state.  publish_mu serializes the slow paths only:
@@ -127,6 +139,8 @@ struct Clusterer::Impl {
   std::optional<dsu::AtomicDisjointSet> mini_dsu;  ///< |W| + C_old nodes
   std::vector<std::uint32_t> rem_nbr_ids;     ///< removal-batch neighbor CSR
   std::vector<std::uint32_t> rem_nbr_starts;  ///< .. per-removed-id offsets
+  std::vector<std::uint32_t> ins_nbr_ids;     ///< insert-batch neighbor CSR
+  std::vector<std::uint32_t> ins_nbr_starts;  ///< .. per-new-id offsets
   std::vector<std::uint32_t> cut_list;    ///< removed/demoted cores, by label
   std::vector<std::uint32_t> cut_order;   ///< cut indices grouped by ε-site
   std::vector<std::uint32_t> seed_list;   ///< cut-adjacent surviving cores
@@ -338,6 +352,9 @@ struct Clusterer::Impl {
           "Clusterer: no index to snapshot yet — run() or sweep() builds "
           "it (kAuto needs an eps to resolve against)");
     }
+    // A throw here (injected or real) is harmless: nothing was published,
+    // the session index is untouched, and the caller can simply retry.
+    RTD_FAILPOINT("session.publish");
     auto created =
         std::make_shared<const IndexSnapshot>(index, storage, pts, index_eps);
     published.store(created);
@@ -425,6 +442,159 @@ struct Clusterer::Impl {
     }
   }
 
+  /// The body of run(), parameters pre-validated — and the HEAL path for a
+  /// degraded session (a full re-cluster at the last requested
+  /// parameters).  Transactional: a throw before the result buffers are
+  /// touched restores the run metadata and leaves the previous result
+  /// intact (strong); a throw inside finish_run leaves the buffers torn
+  /// and the session kDegraded.
+  const ClusterResult& do_run(float eps, std::uint32_t min_pts) {
+    ClusterResult& r = result;
+    const std::size_t n = pts.size();
+
+    Timer total;
+    // Fixed-size metadata backups for the strong-guarantee exits (the big
+    // result buffers are only touched by finish_run, which degrades
+    // instead of rolling back).
+    const float eps_backup = r.eps;
+    const std::uint32_t min_pts_backup = r.min_pts;
+    const RunStats stats_backup = r.stats;
+    const double seconds_backup = r.seconds;
+    const auto restore_metadata = [&]() noexcept {
+      r.eps = eps_backup;
+      r.min_pts = min_pts_backup;
+      r.stats = stats_backup;
+      r.seconds = seconds_backup;
+    };
+
+    r.eps = eps;
+    r.min_pts = min_pts;
+    r.stats = RunStats{};
+    r.stats.geometry = opts.geometry;
+    r.stats.backend = resolved;
+
+    if (n == 0) {
+      r.labels.clear();
+      r.is_core.clear();
+      r.neighbor_counts.clear();
+      r.members.clear();
+      r.member_starts.assign(2, 0);
+      r.cluster_count = 0;
+      r.seconds = total.seconds();
+      last_eps = eps;
+      last_min_pts = min_pts;
+      params_valid = true;
+      health = SessionHealth::kHealthy;
+      result_current = true;  // an empty session may stream from here
+      return r;
+    }
+
+    if (opts.geometry == core::GeometryMode::kTriangles) {
+      core::RtDbscanResult rr;
+      EnsureStats es;
+      bool counts_reused = false;
+      try {
+        es = ensure_index(eps);
+        counts_reused = runner->counts_cached();
+        rr = runner->run(min_pts);
+      } catch (...) {
+        restore_metadata();  // strong: the runner computed into locals
+        throw;
+      }
+      r.labels = std::move(rr.clustering.labels);
+      r.is_core = std::move(rr.clustering.is_core);
+      r.cluster_count = rr.clustering.cluster_count;
+      r.neighbor_counts = std::move(rr.neighbor_counts);
+      r.stats.backend = IndexKind::kBvhRt;
+      r.stats.width = stats_width();
+      r.stats.index_rebuilt = es.rebuilt;
+      r.stats.index_refitted = es.refitted;
+      r.stats.counts_reused = counts_reused;
+      r.stats.phase1 = rr.phase1;
+      r.stats.phase2 = rr.phase2;
+      r.stats.timings = rr.clustering.timings;
+      r.stats.timings.index_build_seconds = es.seconds;
+      last_eps = eps;
+      last_min_pts = min_pts;
+      params_valid = true;
+      try {
+        build_membership();
+      } catch (...) {
+        // Labels are the new run's, members the old run's: torn.
+        health = SessionHealth::kDegraded;
+        result_current = false;
+        throw;
+      }
+      r.stats.timings.total_seconds = total.seconds();
+      r.seconds = r.stats.timings.total_seconds;
+      health = SessionHealth::kHealthy;
+      result_current = true;
+      return r;
+    }
+
+    EnsureStats es;
+    try {
+      es = ensure_index(eps);
+      ensure_order();
+    } catch (...) {
+      restore_metadata();  // strong: a failed build left no index behind
+      throw;
+    }
+    r.stats.backend = resolved;
+    r.stats.width = stats_width();
+    r.stats.index_rebuilt = es.rebuilt;
+    r.stats.index_refitted = es.refitted;
+    r.stats.timings.index_build_seconds = es.seconds;
+
+    // Phase 1 (core identification) — or the cached-counts fast path.  The
+    // cache survives refits: counts depend only on (points, eps).  Capped
+    // counts (early_exit) still decide the core test for any min_pts whose
+    // threshold min_pts - 1 lies at or below the recorded cap.
+    dbscan::Params params{eps, min_pts, resolved};
+    const bool reuse = counts_valid && counts_eps == eps &&
+                       (counts_cap == index::kNoCap ||
+                        min_pts - 1 <= counts_cap);
+    if (reuse) {
+      r.stats.counts_reused = true;
+    } else {
+      counts_valid = false;  // a throw mid-launch would leave them torn
+      try {
+        r.stats.phase1 =
+            dbscan::index_phase1(*index, params, order, opts.early_exit,
+                                 opts.threads, counts);
+      } catch (...) {
+        restore_metadata();  // strong; the count cache is dropped, not torn
+        throw;
+      }
+      counts_valid = true;
+      counts_eps = eps;
+      // The RT backend ignores the early-exit hint (OptiX) and returned
+      // exact counts — record them as such so any later min_pts reuses
+      // them.
+      counts_cap = opts.early_exit && resolved != IndexKind::kBvhRt
+                       ? min_pts - 1
+                       : index::kNoCap;
+      r.stats.timings.core_phase_seconds = r.stats.phase1.seconds;
+    }
+
+    last_eps = eps;
+    last_min_pts = min_pts;
+    params_valid = true;
+    try {
+      finish_run(eps, min_pts, counts, total);
+    } catch (...) {
+      // The result buffers are partially overwritten.  Committed state
+      // (points, mask, counts) is coherent; only the labels are torn —
+      // degrade, and let the next writer call heal by re-clustering.
+      health = SessionHealth::kDegraded;
+      result_current = false;
+      throw;
+    }
+    health = SessionHealth::kHealthy;
+    result_current = true;
+    return r;
+  }
+
   /// The shared mutation pipeline behind insert()/remove()/advance().
   /// Validates everything up front (a throwing call leaves the session
   /// untouched), then: decrement-queries for the removal batch, liveness
@@ -437,6 +607,18 @@ struct Clusterer::Impl {
       throw std::logic_error(
           "Clusterer: insert/remove/advance serve sphere-geometry sessions "
           "only (the triangle accel cannot absorb point mutations)");
+    }
+    // Heal first: a degraded session has coherent committed state (points,
+    // mask, counts) but torn labels — one full re-cluster at the last
+    // requested parameters restores the baseline this mutation maintains.
+    // The same recovery covers a healthy session whose COUNTS cache was
+    // dropped by a failed phase-1 launch (run() rolled its result back —
+    // strong — but the cache may be torn and incremental maintenance
+    // depends on it).  (A throw here leaves the session degraded or the
+    // cache still invalid; the next call retries.)
+    if (params_valid && (health == SessionHealth::kDegraded ||
+                         (result_current && !counts_valid))) {
+      do_run(last_eps, last_min_pts);
     }
     if (!result_current) {
       throw std::logic_error(
@@ -473,6 +655,20 @@ struct Clusterer::Impl {
     Timer total;
     const float eps = result.eps;
     const std::uint32_t min_pts = result.min_pts;
+
+    // Fixed-size backups for the strong-guarantee exits; the noexcept
+    // rollback lambdas below undo each applied stage in reverse.  (Nothing
+    // here is O(n): the big result buffers are only touched by the final
+    // label repair, which degrades instead of rolling back.)
+    const RunStats stats_backup = result.stats;
+    const double seconds_backup = result.seconds;
+    const std::size_t pending_backup = pending_mutations;
+    const bool live_was_empty = live.empty();
+    const auto restore_stats = [&]() noexcept {
+      result.stats = stats_backup;
+      result.seconds = seconds_backup;
+    };
+
     RunStats& st = result.stats;
     st.incremental = true;
     st.counts_reused = false;
@@ -480,85 +676,187 @@ struct Clusterer::Impl {
     st.phase2 = rt::LaunchStats{};
     st.timings = dbscan::PhaseTimings{};
 
-    // The index must exist and serve the result's ε before the batch can
-    // be queried (a sweep can park a rebuild-only backend at the ladder
-    // maximum; a session whose first run saw no points has no index yet).
-    const EnsureStats es = ensure_index(eps);
-    st.index_rebuilt = es.rebuilt;
-    st.index_refitted = es.refitted;
-    st.timings.index_build_seconds = es.seconds;
+    // Stage 1 — the index must exist and serve the result's ε before the
+    // batch can be queried (a sweep can park a rebuild-only backend at the
+    // ladder maximum; a session whose first run saw no points has no index
+    // yet).  A failed build leaves no index (the next call rebuilds);
+    // everything observable is pre-call: strong.
+    try {
+      const EnsureStats es = ensure_index(eps);
+      st.index_rebuilt = es.rebuilt;
+      st.index_refitted = es.refitted;
+      st.timings.index_build_seconds = es.seconds;
+    } catch (...) {
+      restore_stats();
+      throw;
+    }
 
-    // Removal counts maintenance: one ε-query per removed id, decrementing
-    // every neighbor — BEFORE the mask hides the removed points.
+    // Stage 2 — removal counts maintenance: one ε-query per removed id,
+    // BEFORE the mask hides the removed points.  Capture-then-apply inside
+    // the engine: `counts` is only touched by its noexcept epilogue, so a
+    // throw during the queries needs no count rollback.
+    bool removal_applied = false;
     if (!rem_sorted.empty()) {
-      st.phase1 = dbscan::index_phase1_remove(
-          *index, eps, rem_sorted, counts, rem_nbr_ids, rem_nbr_starts);
-      if (live.empty()) live.assign(n, 1);
+      try {
+        if (live.empty()) live.assign(n, 1);
+        st.phase1 = dbscan::index_phase1_remove(
+            *index, eps, rem_sorted, counts, rem_nbr_ids, rem_nbr_starts);
+      } catch (...) {
+        if (live_was_empty) live.clear();  // all-ones mask == empty mask
+        restore_stats();
+        throw;  // strong
+      }
       for (const std::uint32_t id : rem_sorted) live[id] = 0;
       dead_count += rem_sorted.size();
+      removal_applied = true;
     }
+    // Undo stage 2: re-increment through the captured CSR, resurrect the
+    // mask.  Noexcept — every step is a plain store.
+    const auto rollback_removal = [&]() noexcept {
+      if (!removal_applied) return;
+      for (const std::uint32_t j : rem_nbr_ids) ++counts[j];
+      for (const std::uint32_t id : rem_sorted) live[id] = 1;
+      dead_count -= rem_sorted.size();
+      if (live_was_empty) live.clear();
+    };
+
     const std::size_t n_new = n + add.size();
 
-    // Storage append + index mutation, under the publish lock so snapshot
-    // creation can never interleave with a half-applied batch.
+    // Stage 3 — storage append + index mutation, under the publish lock so
+    // snapshot creation can never interleave with a half-applied batch.
+    bool appended_in_place = false;
+    bool storage_replaced = false;
+    bool live_grown = false;
+    bool index_hazard = false;
+    std::shared_ptr<std::vector<Vec3>> storage_backup;
+    const std::span<const Vec3> pts_backup = pts;
+    // Undo stages 2+3.  Noexcept; call with publish_mu HELD.  When the
+    // index may be mid-mutation (a backend threw partway through absorb)
+    // or reading a relocated span (in-place append moved the buffer), it
+    // is dropped — derived state the next ensure_index rebuilds.  Readers
+    // stay safe: published is nulled and any snapshot taken meanwhile owns
+    // its own references to whatever structure it captured.
+    const auto rollback_batch_locked = [&]() noexcept {
+      published.store(nullptr);
+      if (index_hazard) {
+        index.reset();
+        index_shared = false;
+      }
+      if (live_grown) live.resize(n);
+      if (storage_replaced) {
+        storage = std::move(storage_backup);
+        pts = pts_backup;
+      } else if (appended_in_place) {
+        storage->resize(n);  // shrink: never reallocates
+        pts = *storage;
+      }
+      pending_mutations = pending_backup;
+      rollback_removal();
+    };
     {
       const std::lock_guard<std::mutex> lock(publish_mu);
       published.store(nullptr);
-      if (!add.empty()) {
-        const bool borrowed = !storage || storage->data() != pts.data();
-        if (borrowed || storage.use_count() > 1) {
-          // Borrowed points, or a snapshot co-owns the buffer: an in-place
-          // append could relocate a span a reader is traversing — copy on
-          // write instead (the old buffer lives until its readers finish).
-          auto fresh = std::make_shared<std::vector<Vec3>>();
-          fresh->reserve(n_new);
-          fresh->assign(pts.begin(), pts.end());
-          fresh->insert(fresh->end(), add.begin(), add.end());
-          storage = std::move(fresh);
-        } else {
-          storage->insert(storage->end(), add.begin(), add.end());
+      try {
+        if (!add.empty()) {
+          const bool borrowed = !storage || storage->data() != pts.data();
+          if (borrowed || storage.use_count() > 1) {
+            // Borrowed points, or a snapshot co-owns the buffer: an
+            // in-place append could relocate a span a reader is traversing
+            // — copy on write instead (the old buffer lives until its
+            // readers finish; here also until rollback can no longer need
+            // it, via storage_backup).
+            storage_backup = storage;
+            auto fresh = std::make_shared<std::vector<Vec3>>();
+            fresh->reserve(n_new);
+            fresh->assign(pts.begin(), pts.end());
+            fresh->insert(fresh->end(), add.begin(), add.end());
+            storage = std::move(fresh);
+            storage_replaced = true;
+          } else {
+            // In-place append may relocate the buffer the index reads —
+            // from here on a throw must drop the index.
+            index_hazard = true;
+            storage->insert(storage->end(), add.begin(), add.end());
+            appended_in_place = true;
+          }
+          pts = *storage;
+          if (!live.empty()) {
+            live.resize(n_new, 1);
+            live_grown = true;
+          }
         }
-        pts = *storage;
-        if (!live.empty()) live.resize(n_new, 1);
+        pending_mutations += add.size() + rem_sorted.size();
+        bool absorbed = false;
+        index_hazard = true;  // the structure mutates below
+        if (!index_shared &&
+            pending_mutations <= rebuild_threshold(n_new - dead_count)) {
+          // In-place absorption: mask the removals (amortized refit inside
+          // the backend), then hand the appended span over (delta-tail
+          // contract — the call also re-binds after a storage relocation).
+          bool ok = rem_sorted.empty() || index->try_remove(rem_sorted);
+          if (ok && !add.empty()) ok = index->try_insert(pts, first_new);
+          absorbed = ok;
+        }
+        if (!absorbed) {
+          // Aliased by a snapshot, over the mutation budget, or a backend
+          // that cannot absorb inserts (grid/dense-box): fresh build over
+          // the live set.  Dropping index_shared releases only OUR
+          // reference — snapshot readers keep the old structure alive.
+          index_shared = false;
+          build_index_now(eps);
+          st.index_rebuilt = true;
+        }
+        order_valid = false;
+      } catch (...) {
+        rollback_batch_locked();
+        restore_stats();
+        throw;  // strong
       }
-      pending_mutations += add.size() + rem_sorted.size();
-      bool absorbed = false;
-      if (!index_shared &&
-          pending_mutations <= rebuild_threshold(n_new - dead_count)) {
-        // In-place absorption: mask the removals (amortized refit inside
-        // the backend), then hand the appended span over (delta-tail
-        // contract — the call also re-binds after a storage relocation).
-        bool ok = rem_sorted.empty() || index->try_remove(rem_sorted);
-        if (ok && !add.empty()) ok = index->try_insert(pts, first_new);
-        absorbed = ok;
-      }
-      if (!absorbed) {
-        // Aliased by a snapshot, over the mutation budget, or a backend
-        // that cannot absorb inserts (grid/dense-box): fresh build over
-        // the live set.  Dropping index_shared releases only OUR
-        // reference — snapshot readers keep the old structure alive.
-        index_shared = false;
-        build_index_now(eps);
-        st.index_rebuilt = true;
-      }
-      order_valid = false;
     }
 
-    // Insert counts maintenance: one ε-query per new point against the
-    // post-mutation index (removed slots are already invisible).
+    // Stage 4 — insert counts maintenance: one ε-query per new point
+    // against the post-mutation index (removed slots are already
+    // invisible).  Capture-then-apply again; a throw undoes the WHOLE
+    // batch (stage 3 included) — absorbed points must not outlive their
+    // counts.
     if (!add.empty()) {
-      const rt::LaunchStats ins =
-          dbscan::index_phase1_insert(*index, eps, first_new, counts);
-      st.phase1.seconds += ins.seconds;
-      st.phase1.work += ins.work;
+      try {
+        const rt::LaunchStats ins = dbscan::index_phase1_insert(
+            *index, eps, first_new, counts, ins_nbr_ids, ins_nbr_starts);
+        st.phase1.seconds += ins.seconds;
+        st.phase1.work += ins.work;
+      } catch (...) {
+        counts.resize(n);  // drop any new rows the engine had grown
+        {
+          const std::lock_guard<std::mutex> lock(publish_mu);
+          rollback_batch_locked();
+        }
+        restore_stats();
+        throw;  // strong
+      }
     }
+
+    // Point of no return: the batch is committed.  Every remaining step
+    // either completes or degrades the session (labels torn, committed
+    // state kept) for the next call to heal.
     for (const std::uint32_t id : rem_sorted) counts[id] = 0;
     st.timings.core_phase_seconds = st.phase1.seconds;
     counts_valid = true;
     counts_eps = eps;
     counts_cap = index::kNoCap;
+    last_eps = eps;
+    last_min_pts = min_pts;
+    params_valid = true;
 
-    maintain_labels(first_new, eps, min_pts);
+    // Stage 5 — label repair.  The result buffers are rewritten in place;
+    // rollback is impossible mid-way, so a throw degrades.
+    try {
+      maintain_labels(first_new, eps, min_pts);
+    } catch (...) {
+      health = SessionHealth::kDegraded;
+      result_current = false;
+      throw;
+    }
 
     st.timings.total_seconds = total.seconds();
     result.seconds = st.timings.total_seconds;
@@ -653,6 +951,7 @@ struct Clusterer::Impl {
       return mark_epoch;
     };
     if (!site_dsu.has_value()) site_dsu.emplace(0);
+    RTD_FAILPOINT("repair.split");
     for (std::size_t lo = 0; lo < cut_list.size();) {
       const std::int32_t c = r.labels[cut_list[lo]];
       std::size_t hi = lo;
@@ -966,6 +1265,7 @@ struct Clusterer::Impl {
     // joined W).  Out-of-W borders of intact clusters keep their labels
     // the same way: a border whose witness core was cut is in some cut
     // node's neighbor list and therefore in W.
+    RTD_FAILPOINT("repair.union");
     for (std::uint32_t w = 0; w < w_count; ++w) {
       const std::uint32_t i = wlist[w];
       if (!new_core[i]) continue;
@@ -1006,6 +1306,7 @@ struct Clusterer::Impl {
     // Pass B — unclaimed non-core W members: border iff ANY live core is
     // within ε (pass A only queried from in-W cores; an out-of-W core can
     // hold them too).  Attach to the first one found, else noise.
+    RTD_FAILPOINT("repair.border");
     for (std::uint32_t w = 0; w < w_count; ++w) {
       const std::uint32_t i = wlist[w];
       if (new_core[i] || claim[w]) continue;
@@ -1025,6 +1326,7 @@ struct Clusterer::Impl {
     // resolve through their own node, out-of-W labeled slots through their
     // cluster's anchor, claimed out-of-W noise through the claiming node.
     // (Label VALUES are not stable across mutations — only the partition.)
+    RTD_FAILPOINT("repair.relabel");
     r.labels.resize(n, kNoise);
     root_scratch.resize(nodes);
     std::fill(root_scratch.begin(), root_scratch.end(), dbscan::kNoiseLabel);
@@ -1115,89 +1417,7 @@ Clusterer& Clusterer::operator=(Clusterer&&) noexcept = default;
 
 const ClusterResult& Clusterer::run(float eps, std::uint32_t min_pts) {
   validate_run_params(eps, min_pts);
-  Impl& im = *impl_;
-  ClusterResult& r = im.result;
-  const std::size_t n = im.pts.size();
-
-  Timer total;
-  r.eps = eps;
-  r.min_pts = min_pts;
-  r.stats = RunStats{};
-  r.stats.geometry = im.opts.geometry;
-  r.stats.backend = im.resolved;
-
-  if (n == 0) {
-    r.labels.clear();
-    r.is_core.clear();
-    r.neighbor_counts.clear();
-    r.members.clear();
-    r.member_starts.assign(2, 0);
-    r.cluster_count = 0;
-    r.seconds = total.seconds();
-    im.result_current = true;  // an empty session may stream from here
-    return r;
-  }
-
-  if (im.opts.geometry == core::GeometryMode::kTriangles) {
-    const Impl::EnsureStats es = im.ensure_index(eps);
-    const bool counts_reused = im.runner->counts_cached();
-    core::RtDbscanResult rr = im.runner->run(min_pts);
-    r.labels = std::move(rr.clustering.labels);
-    r.is_core = std::move(rr.clustering.is_core);
-    r.cluster_count = rr.clustering.cluster_count;
-    r.neighbor_counts = std::move(rr.neighbor_counts);
-    r.stats.backend = IndexKind::kBvhRt;
-    r.stats.width = im.stats_width();
-    r.stats.index_rebuilt = es.rebuilt;
-    r.stats.index_refitted = es.refitted;
-    r.stats.counts_reused = counts_reused;
-    r.stats.phase1 = rr.phase1;
-    r.stats.phase2 = rr.phase2;
-    r.stats.timings = rr.clustering.timings;
-    r.stats.timings.index_build_seconds = es.seconds;
-    im.build_membership();
-    r.stats.timings.total_seconds = total.seconds();
-    r.seconds = r.stats.timings.total_seconds;
-    im.result_current = true;
-    return r;
-  }
-
-  const Impl::EnsureStats es = im.ensure_index(eps);
-  im.ensure_order();
-  r.stats.backend = im.resolved;
-  r.stats.width = im.stats_width();
-  r.stats.index_rebuilt = es.rebuilt;
-  r.stats.index_refitted = es.refitted;
-  r.stats.timings.index_build_seconds = es.seconds;
-
-  // Phase 1 (core identification) — or the cached-counts fast path.  The
-  // cache survives refits: counts depend only on (points, eps).  Capped
-  // counts (early_exit) still decide the core test for any min_pts whose
-  // threshold min_pts - 1 lies at or below the recorded cap.
-  dbscan::Params params{eps, min_pts, im.resolved};
-  const bool reuse = im.counts_valid && im.counts_eps == eps &&
-                     (im.counts_cap == index::kNoCap ||
-                      min_pts - 1 <= im.counts_cap);
-  if (reuse) {
-    r.stats.counts_reused = true;
-  } else {
-    r.stats.phase1 =
-        dbscan::index_phase1(*im.index, params, im.order,
-                             im.opts.early_exit, im.opts.threads, im.counts);
-    im.counts_valid = true;
-    im.counts_eps = eps;
-    // The RT backend ignores the early-exit hint (OptiX) and returned
-    // exact counts — record them as such so any later min_pts reuses them.
-    im.counts_cap =
-        im.opts.early_exit && im.resolved != IndexKind::kBvhRt
-            ? min_pts - 1
-            : index::kNoCap;
-    r.stats.timings.core_phase_seconds = r.stats.phase1.seconds;
-  }
-
-  im.finish_run(eps, min_pts, im.counts, total);
-  im.result_current = true;
-  return r;
+  return impl_->do_run(eps, min_pts);
 }
 
 ClusterResult Clusterer::take_result() {
@@ -1310,6 +1530,10 @@ std::vector<ClusterResult> Clusterer::sweep(std::span<const float> eps_values,
     if (it == im.sweep_eps2.end()) im.sweep_eps2.push_back(eps2);
   }
   const std::size_t ku = im.sweep_eps2.size();
+  // Everything up to the entry loop touches only the index and scratch
+  // buffers: a throw (including this injected one) leaves the previous
+  // result intact — strong.
+  RTD_FAILPOINT("sweep.scratch");
   im.sweep_counts.assign(ku * n, 0);
   const std::span<const geom::Vec3> pts = im.pts;
   // One query per ORDER entry (live slots only): tombstoned slots keep the
@@ -1334,53 +1558,72 @@ std::vector<ClusterResult> Clusterer::sweep(std::span<const float> eps_values,
     const Timer entry_timer;
     const float eps = eps_values[v];
     ClusterResult& r = im.result;
-    r.eps = eps;
-    r.min_pts = min_pts;
-    r.stats = RunStats{};
-    r.stats.geometry = im.opts.geometry;
-    r.stats.backend = im.resolved;
-    r.stats.width = im.stats_width();
+    // Each entry rewrites the session result in place; a throw mid-entry
+    // leaves it torn, so the whole entry body degrades on failure (the
+    // committed point/mask state is untouched — the next writer call heals
+    // by re-clustering at this entry's parameters).  A COMPLETED entry is
+    // a full, coherent clustering: commit it before moving on, so a later
+    // entry's fault only ever costs the remainder of the ladder.
+    try {
+      r.eps = eps;
+      r.min_pts = min_pts;
+      r.stats = RunStats{};
+      r.stats.geometry = im.opts.geometry;
+      r.stats.backend = im.resolved;
+      r.stats.width = im.stats_width();
 
-    // Retarget the index to this ladder value where refit is supported
-    // (the RT scene's radius is baked in, so its phase-2 queries need it).
-    // Where it is not (grid/dense-box), the ε_max build legally serves any
-    // query radius <= its build ε — no rebuild happens in a sweep at all
-    // (unless a concurrent reader snapped the structure mid-sweep; see
-    // sweep_retarget).
-    Impl::EnsureStats step;
-    im.sweep_retarget(eps, eps_max, step);
-    if (v == 0) {
-      // The first entry is charged with the shared work: the ε_max index
-      // step and the one counting launch that served the whole ladder.
-      step.rebuilt = build.rebuilt;
-      step.refitted = step.refitted || build.refitted;
-      step.seconds += build.seconds;
-      r.stats.phase1 = shared_phase1;
-      r.stats.timings.core_phase_seconds = shared_phase1.seconds;
-    } else {
-      r.stats.counts_reused = true;
-    }
-    r.stats.index_rebuilt = step.rebuilt;
-    r.stats.index_refitted = step.refitted;
-    r.stats.timings.index_build_seconds = step.seconds;
+      // Retarget the index to this ladder value where refit is supported
+      // (the RT scene's radius is baked in, so its phase-2 queries need
+      // it).  Where it is not (grid/dense-box), the ε_max build legally
+      // serves any query radius <= its build ε — no rebuild happens in a
+      // sweep at all (unless a concurrent reader snapped the structure
+      // mid-sweep; see sweep_retarget).
+      Impl::EnsureStats step;
+      im.sweep_retarget(eps, eps_max, step);
+      if (v == 0) {
+        // The first entry is charged with the shared work: the ε_max index
+        // step and the one counting launch that served the whole ladder.
+        step.rebuilt = build.rebuilt;
+        step.refitted = step.refitted || build.refitted;
+        step.seconds += build.seconds;
+        r.stats.phase1 = shared_phase1;
+        r.stats.timings.core_phase_seconds = shared_phase1.seconds;
+      } else {
+        r.stats.counts_reused = true;
+      }
+      r.stats.index_rebuilt = step.rebuilt;
+      r.stats.index_refitted = step.refitted;
+      r.stats.timings.index_build_seconds = step.seconds;
 
-    // Gather this entry's strided counters into the session cache buffer
-    // (one linear pass; the per-neighbor hot loop above stays cache-tight).
-    const std::size_t column = im.sweep_col[v];
-    im.counts.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      im.counts[i] = im.sweep_counts[i * ku + column];
+      // Gather this entry's strided counters into the session cache buffer
+      // (one linear pass; the per-neighbor hot loop above stays
+      // cache-tight).  The cache is invalid while being overwritten.
+      im.counts_valid = false;
+      const std::size_t column = im.sweep_col[v];
+      im.counts.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        im.counts[i] = im.sweep_counts[i * ku + column];
+      }
+      im.finish_run(eps, min_pts, im.counts,
+                    v == 0 ? first_entry_timer : entry_timer);
+      // Commit: the entry's exact counts become the session count cache
+      // (the multi-count pass never caps) and the result is current —
+      // mutations maintain the LAST completed ladder entry.
+      im.counts_valid = true;
+      im.counts_eps = eps;
+      im.counts_cap = index::kNoCap;
+      im.last_eps = eps;
+      im.last_min_pts = min_pts;
+      im.params_valid = true;
+      im.health = SessionHealth::kHealthy;
+      im.result_current = true;
+    } catch (...) {
+      im.health = SessionHealth::kDegraded;
+      im.result_current = false;
+      throw;
     }
-    im.finish_run(eps, min_pts, im.counts,
-                  v == 0 ? first_entry_timer : entry_timer);
     out.push_back(r);
   }
-  // im.counts now holds the LAST entry's exact counts — keep them as the
-  // session count cache (the multi-count pass never caps).
-  im.counts_valid = true;
-  im.counts_eps = eps_values.back();
-  im.counts_cap = index::kNoCap;
-  im.result_current = true;  // mutations maintain the LAST ladder entry
   return out;
 }
 
@@ -1521,6 +1764,205 @@ bool Clusterer::counts_cached() const {
   // and ε) — it can outlive the index's current build ε, e.g. after a
   // sweep on a rebuild-only backend.
   return im.counts_valid;
+}
+
+SessionHealth Clusterer::health() const noexcept { return impl_->health; }
+
+ValidationReport Clusterer::validate(ValidationLevel level) const {
+  const Impl& im = *impl_;
+  ValidationReport rep;
+  rep.level = level;
+  rep.health = im.health;
+  const auto fail = [&rep](std::string msg) {
+    rep.ok = false;
+    rep.issues.push_back(std::move(msg));
+  };
+
+  const std::size_t n = im.pts.size();
+
+  // Session bookkeeping invariants — these hold in EVERY health state (the
+  // degraded contract tears only the result buffers, never the committed
+  // point/mask/count state).
+  if (!im.live.empty() && im.live.size() != n) {
+    fail("live mask covers " + std::to_string(im.live.size()) +
+         " slots, session has " + std::to_string(n));
+  }
+  if (im.live.empty() || im.live.size() == n) {
+    std::size_t dead = 0;
+    for (std::size_t i = 0; i < im.live.size(); ++i) {
+      dead += im.live[i] == 0 ? std::size_t{1} : std::size_t{0};
+    }
+    if (dead != im.dead_count) {
+      fail("dead_count " + std::to_string(im.dead_count) +
+           " disagrees with the mask's " + std::to_string(dead) +
+           " tombstones");
+    }
+  }
+  if (im.oldest_live > n) {
+    fail("advance() cursor " + std::to_string(im.oldest_live) +
+         " is past the slot space");
+  } else {
+    for (std::size_t i = 0; i < im.oldest_live; ++i) {
+      if (im.is_live_slot(i)) {
+        fail("slot " + std::to_string(i) +
+             " is live below the advance() expiry cursor " +
+             std::to_string(im.oldest_live));
+        break;
+      }
+    }
+  }
+  if (im.counts_valid && im.counts.size() != n) {
+    fail("count cache covers " + std::to_string(im.counts.size()) +
+         " slots, session has " + std::to_string(n));
+  }
+  if (im.index && im.index->size() != n) {
+    fail("index covers " + std::to_string(im.index->size()) +
+         " slots, session has " + std::to_string(n));
+  }
+
+  // Result invariants — meaningful only when a coherent current result
+  // exists.  A degraded session (or one whose result was taken) legally
+  // holds torn/empty buffers, which is exactly what the health flag says.
+  if (im.health != SessionHealth::kHealthy || !im.result_current) {
+    return rep;
+  }
+  const ClusterResult& r = im.result;
+  if (r.labels.size() != n || r.is_core.size() != n ||
+      r.neighbor_counts.size() != n) {
+    fail("result buffers not slot-aligned: labels " +
+         std::to_string(r.labels.size()) + ", is_core " +
+         std::to_string(r.is_core.size()) + ", neighbor_counts " +
+         std::to_string(r.neighbor_counts.size()) + " vs " +
+         std::to_string(n) + " slots");
+    return rep;  // nothing below is addressable
+  }
+  const auto c_count = static_cast<std::int32_t>(r.cluster_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t label = r.labels[i];
+    if (label != kNoise && (label < 0 || label >= c_count)) {
+      fail("slot " + std::to_string(i) + " labeled " +
+           std::to_string(label) + ", valid range is [0, " +
+           std::to_string(r.cluster_count) + ") or noise");
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!im.is_live_slot(i)) {
+      if (r.labels[i] != kNoise || r.is_core[i] != 0 ||
+          r.neighbor_counts[i] != 0) {
+        fail("dead slot " + std::to_string(i) +
+             " still carries a label, core flag, or neighbor count");
+        break;
+      }
+    } else if (r.is_core[i] && r.labels[i] == kNoise) {
+      fail("core slot " + std::to_string(i) + " labeled noise");
+      break;
+    } else if ((r.is_core[i] != 0) !=
+               (r.neighbor_counts[i] + 1 >= r.min_pts)) {
+      // Holds for capped counts too: a count is only ever capped at a
+      // cap >= min_pts - 1 (the reuse rule enforces it), so the stored
+      // value decides the core test exactly.
+      fail("slot " + std::to_string(i) +
+           " core flag disagrees with its neighbor count");
+      break;
+    }
+  }
+
+  // Membership CSR: a permutation of the slots, bucketed by label with the
+  // noise bucket last.
+  const std::size_t buckets = static_cast<std::size_t>(r.cluster_count) + 1;
+  if (r.member_starts.size() != buckets + 1 || r.members.size() != n ||
+      r.member_starts.front() != 0 || r.member_starts.back() != n) {
+    fail("membership CSR shape is wrong for " +
+         std::to_string(r.cluster_count) + " clusters over " +
+         std::to_string(n) + " slots");
+  } else {
+    std::vector<std::uint8_t> seen(n, 0);
+    bool csr_ok = true;
+    for (std::size_t b = 0; b + 1 < r.member_starts.size() && csr_ok; ++b) {
+      if (r.member_starts[b] > r.member_starts[b + 1]) {
+        fail("membership CSR starts are not monotone at bucket " +
+             std::to_string(b));
+        csr_ok = false;
+        break;
+      }
+      const std::int32_t want = b + 1 == buckets
+                                    ? kNoise
+                                    : static_cast<std::int32_t>(b);
+      for (std::uint32_t t = r.member_starts[b];
+           t < r.member_starts[b + 1]; ++t) {
+        const std::uint32_t m = r.members[t];
+        if (m >= n || seen[m] || r.labels[m] != want) {
+          fail("membership bucket " + std::to_string(b) +
+               " holds slot " + std::to_string(m) +
+               " out of place");
+          csr_ok = false;
+          break;
+        }
+        seen[m] = 1;
+      }
+    }
+  }
+
+  // The session count cache mirrors the result when keyed to its ε.
+  if (im.counts_valid && im.counts_eps == r.eps &&
+      im.counts.size() == n &&
+      !std::equal(im.counts.begin(), im.counts.end(),
+                  r.neighbor_counts.begin())) {
+    fail("session count cache disagrees with result.neighbor_counts at "
+         "the same eps");
+  }
+
+  if (level == ValidationLevel::kQuick || !rep.ok) return rep;
+
+  // kCounts: exact ε-neighbor recount over the live set (O(live²) —
+  // diagnostics, not a hot path).  Exact comparison needs exact counts;
+  // an early-exit session caps them, so only the core DECISION is checked
+  // there.
+  {
+    const float eps2 = r.eps * r.eps;
+    const bool exact = !im.opts.early_exit ||
+                       im.resolved == IndexKind::kBvhRt;
+    for (std::size_t i = 0; i < n && rep.ok; ++i) {
+      if (!im.is_live_slot(i)) continue;
+      std::uint32_t truth = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i || !im.is_live_slot(j)) continue;
+        truth += geom::distance_squared(im.pts[i], im.pts[j]) <= eps2;
+      }
+      if (exact && truth != r.neighbor_counts[i]) {
+        fail("slot " + std::to_string(i) + " neighbor count " +
+             std::to_string(r.neighbor_counts[i]) +
+             " != exact recount " + std::to_string(truth));
+      } else if ((r.is_core[i] != 0) != (truth + 1 >= r.min_pts)) {
+        fail("slot " + std::to_string(i) +
+             " core flag disagrees with the exact recount");
+      }
+    }
+  }
+
+  if (level != ValidationLevel::kDeep || !rep.ok) return rep;
+
+  // kDeep: full oracle parity — re-cluster the live-compacted view from
+  // scratch and demand an equivalent partition (same noise/border/core
+  // structure up to label renaming).
+  {
+    std::vector<Vec3> live_pts;
+    dbscan::Clustering view;
+    live_pts.reserve(n - im.dead_count);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!im.is_live_slot(i)) continue;
+      live_pts.push_back(im.pts[i]);
+      view.labels.push_back(r.labels[i]);
+      view.is_core.push_back(r.is_core[i]);
+    }
+    view.cluster_count = r.cluster_count;
+    const dbscan::Params params{r.eps, r.min_pts, IndexKind::kAuto};
+    const dbscan::EquivalenceResult oracle =
+        dbscan::check_valid(live_pts, params, view);
+    if (!oracle) fail("deep oracle check failed: " + oracle.reason);
+  }
+  return rep;
 }
 
 }  // namespace rtd

@@ -83,6 +83,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/index_snapshot.hpp"
@@ -256,6 +257,50 @@ struct ClusterResult {
     c.timings = stats.timings;
     return c;
   }
+};
+
+/// Writer-side health of a session (docs/ARCHITECTURE.md, "Failure model").
+///
+/// Every writer operation is transactional: a throw either restores the
+/// pre-call observable state (STRONG — validation failures, index build /
+/// refit / absorption faults, count-maintenance faults) or, where the
+/// result buffers were already partially overwritten (label repair, phase-2
+/// finalization, per-entry sweep work), leaves the session kDegraded: the
+/// points, liveness mask and neighbor counts are committed and coherent,
+/// but the labels are torn and result() is unavailable.  The NEXT writer
+/// call heals a degraded session by a full re-cluster at the last requested
+/// parameters (run()/sweep() do so by their nature; mutations re-cluster
+/// first, then apply).  Readers are unaffected throughout: snapshots
+/// published before the fault stay valid and consistent.
+enum class SessionHealth : std::uint8_t {
+  kHealthy,   ///< result() (if current) is coherent with the session state
+  kDegraded,  ///< a fault tore the result buffers; next writer call heals
+};
+
+/// How deep validate() audits the session (cost grows with the level).
+enum class ValidationLevel : std::uint8_t {
+  /// O(n) structural invariants: mask/result/count buffer agreement, label
+  /// ranges, membership-CSR well-formedness, dead-slot hygiene, core-flag
+  /// consistency with the cached counts.
+  kQuick,
+  /// kQuick + an exact neighbor recount of every live point against the raw
+  /// coordinates (O(n_live²) — no index involved, so it also cross-checks
+  /// the index-maintained counts).
+  kCounts,
+  /// kCounts + full oracle parity: the live sub-dataset must form a valid
+  /// DBSCAN clustering at (eps, min_pts) per dbscan::check_valid.
+  kDeep,
+};
+
+/// validate()'s findings.  Converts to true when no issue was found.
+struct ValidationReport {
+  bool ok = true;
+  SessionHealth health = SessionHealth::kHealthy;
+  ValidationLevel level = ValidationLevel::kQuick;
+  /// One human-readable line per violated invariant, empty when ok.
+  std::vector<std::string> issues;
+
+  explicit operator bool() const { return ok; }
 };
 
 /// Multi-run DBSCAN session over one dataset: owns the points and a
@@ -456,6 +501,24 @@ class Clusterer {
   /// they were computed for: a run() at that ε skips phase 1 if its
   /// min_pts is covered (always, without Options::early_exit).
   [[nodiscard]] bool counts_cached() const;
+
+  // --- Failure model (docs/ARCHITECTURE.md has the per-operation table) ----
+
+  /// Current writer-side health.  kDegraded after a fault tore the result
+  /// buffers mid-repair; the next run()/sweep()/mutation heals it by a full
+  /// re-cluster (see SessionHealth).  Readers and snapshots are unaffected
+  /// by a degraded writer.
+  [[nodiscard]] SessionHealth health() const noexcept;
+
+  /// Self-audit of the session's invariants, from cheap structural checks
+  /// (kQuick, O(n)) up to full oracle parity of the live clustering (kDeep).
+  /// WRITER-synchronized read: call it from the writer thread (it inspects
+  /// writer-side buffers that mutations rewrite).  Valid in every health
+  /// state — a degraded session validates clean if its committed state
+  /// (points, mask, counts) is coherent; result-dependent checks are
+  /// skipped when no current result exists.  Never mutates the session.
+  [[nodiscard]] ValidationReport validate(
+      ValidationLevel level = ValidationLevel::kQuick) const;
 
  private:
   struct Impl;

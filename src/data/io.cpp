@@ -1,6 +1,7 @@
 #include "data/io.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -15,6 +16,26 @@ bool looks_numeric(const std::string& cell) {
   char* end = nullptr;
   std::strtod(cell.c_str(), &end);
   return end != cell.c_str() && *end == '\0';
+}
+
+/// Parse one coordinate cell, rejecting everything downstream geometry
+/// cannot digest: garbage text, trailing junk ("1.5x"), and non-finite
+/// values — both literal ("inf", "nan") and overflow ("1e999" parses to
+/// +inf).  The error names the record so a bad row in a million-line file
+/// is findable.
+float parse_coord(const std::string& cell, std::size_t line_no,
+                  std::size_t column) {
+  const auto reject = [&](const char* why) {
+    throw std::runtime_error("load_csv: " + std::string(why) + " '" + cell +
+                             "' at line " + std::to_string(line_no) +
+                             ", column " + std::to_string(column + 1));
+  };
+  if (cell.empty()) reject("empty cell");
+  char* end = nullptr;
+  const float value = std::strtof(cell.c_str(), &end);
+  if (end == cell.c_str() || *end != '\0') reject("malformed number");
+  if (!std::isfinite(value)) reject("non-finite coordinate");
+  return value;
 }
 
 std::vector<std::string> split_csv_line(const std::string& line) {
@@ -60,30 +81,30 @@ Dataset load_csv(const std::string& path, const std::string& name) {
     if (cells.empty()) continue;
     if (!looks_numeric(cells[0])) {
       if (line_no == 1) continue;  // header
-      throw std::runtime_error("load_csv: non-numeric row at line " +
-                               std::to_string(line_no));
+      throw std::runtime_error("load_csv: non-numeric row '" + line +
+                               "' at line " + std::to_string(line_no));
     }
     if (cells.size() != 2 && cells.size() != 3) {
-      throw std::runtime_error("load_csv: expected 2 or 3 columns at line " +
-                               std::to_string(line_no));
+      // One column is usually a truncated record (a write cut off
+      // mid-row), more than three is the wrong file — say which.
+      throw std::runtime_error(
+          "load_csv: expected 2 or 3 columns but found " +
+          std::to_string(cells.size()) + " in row '" + line + "' at line " +
+          std::to_string(line_no));
     }
     const int row_dims = static_cast<int>(cells.size());
     if (out.dims == 0) {
       out.dims = row_dims;
     } else if (out.dims != row_dims) {
-      throw std::runtime_error("load_csv: inconsistent column count at line " +
-                               std::to_string(line_no));
-    }
-    for (const auto& c : cells) {
-      if (!looks_numeric(c)) {
-        throw std::runtime_error("load_csv: bad number at line " +
-                                 std::to_string(line_no));
-      }
+      throw std::runtime_error(
+          "load_csv: inconsistent column count (" +
+          std::to_string(row_dims) + " vs " + std::to_string(out.dims) +
+          " earlier) in row '" + line + "' at line " +
+          std::to_string(line_no));
     }
     out.points.push_back(geom::Vec3{
-        std::strtof(cells[0].c_str(), nullptr),
-        std::strtof(cells[1].c_str(), nullptr),
-        row_dims == 3 ? std::strtof(cells[2].c_str(), nullptr) : 0.0f});
+        parse_coord(cells[0], line_no, 0), parse_coord(cells[1], line_no, 1),
+        row_dims == 3 ? parse_coord(cells[2], line_no, 2) : 0.0f});
   }
   if (out.dims == 0) out.dims = 2;
   return out;

@@ -16,8 +16,10 @@ namespace rtd::data {
 void save_csv(const Dataset& dataset, const std::string& path);
 
 /// Load a dataset from CSV.  Accepts 2 or 3 numeric columns; a header row is
-/// auto-detected and skipped.  Rows with parse errors are rejected with
-/// std::runtime_error (fail-fast beats silently clustering garbage).
+/// auto-detected and skipped.  Truncated rows (wrong column count),
+/// malformed numbers, and non-finite coordinates ("inf"/"nan" literals or
+/// overflow) are rejected with a std::runtime_error naming the offending
+/// record (fail-fast beats silently clustering garbage).
 Dataset load_csv(const std::string& path, const std::string& name = "csv");
 
 /// Write `x,y[,z],label` rows for a clustered dataset.

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/failpoint.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "geom/morton.hpp"
@@ -42,6 +43,9 @@ rt::LaunchStats index_phase1(const index::NeighborIndex& index,
   const std::uint32_t cap =
       early_exit ? params.min_pts - 1 : index::kNoCap;
   const std::span<const geom::Vec3> points = index.points();
+  // Before the launch: a throw from inside the parallel region would
+  // terminate, so faults inject at the serial boundary only.
+  RTD_FAILPOINT("engine.phase1");
 
   // One query per ORDER entry, not per slot: a live session passes an order
   // that skips tombstoned slots, whose counts stay 0 from the assign above.
@@ -62,41 +66,57 @@ rt::LaunchStats index_phase1_remove(const index::NeighborIndex& index,
   nbr_ids.clear();
   nbr_starts.resize(removed.size() + 1);
   nbr_starts[0] = 0;
-  // Serial launch (threads = 1): the decrements and CSR appends are plain
-  // stores and the LaunchStats stay honest about the per-mutation cost.
-  return rt::parallel_launch(
+  // Capture: queries and CSR appends only — counts untouched, so a throw
+  // (allocation failure growing nbr_ids, backend fault) is side-effect free.
+  // Serial launch (threads = 1): the CSR appends are plain stores and the
+  // LaunchStats stay honest about the per-mutation cost.
+  const rt::LaunchStats launch = rt::parallel_launch(
       removed.size(), 1, [&](rt::TraversalStats& stats, std::size_t k) {
         const std::uint32_t r = removed[k];
         index.query_sphere(points[r], eps, r,
-                           [&](std::uint32_t j) {
-                             --counts[j];
-                             nbr_ids.push_back(j);
-                           },
+                           [&](std::uint32_t j) { nbr_ids.push_back(j); },
                            stats);
         nbr_starts[k + 1] = static_cast<std::uint32_t>(nbr_ids.size());
       });
+  RTD_FAILPOINT("engine.phase1_remove");
+  // Apply: noexcept decrements over the captured neighborhoods.
+  for (const std::uint32_t j : nbr_ids) --counts[j];
+  return launch;
 }
 
 rt::LaunchStats index_phase1_insert(const index::NeighborIndex& index,
                                     float eps, std::size_t first_new,
-                                    std::vector<std::uint32_t>& counts) {
+                                    std::vector<std::uint32_t>& counts,
+                                    std::vector<std::uint32_t>& nbr_ids,
+                                    std::vector<std::uint32_t>& nbr_starts) {
   const std::size_t n = index.size();
   const std::span<const geom::Vec3> points = index.points();
-  counts.resize(n, 0);
-  return rt::parallel_launch(
+  nbr_ids.clear();
+  nbr_starts.resize(n - first_new + 1);
+  nbr_starts[0] = 0;
+  // Capture, like index_phase1_remove: queries only, counts untouched.
+  const rt::LaunchStats launch = rt::parallel_launch(
       n - first_new, 1, [&](rt::TraversalStats& stats, std::size_t k) {
         const auto i = static_cast<std::uint32_t>(first_new + k);
-        std::uint32_t mine = 0;
         index.query_sphere(points[i], eps, i,
-                           [&](std::uint32_t j) {
-                             ++mine;
-                             // Pre-existing neighbors gain one; new-new
-                             // pairs resolve through each side's own query.
-                             if (j < first_new) ++counts[j];
-                           },
+                           [&](std::uint32_t j) { nbr_ids.push_back(j); },
                            stats);
-        counts[i] = mine;
+        nbr_starts[k + 1] = static_cast<std::uint32_t>(nbr_ids.size());
       });
+  // Growth before the failpoint: a throw here (or injected after) leaves the
+  // pre-existing entries untouched; the caller shrinks on rollback.
+  counts.resize(n, 0);
+  RTD_FAILPOINT("engine.phase1_insert");
+  // Apply: noexcept.  A new point's count is its CSR row size (new-new pairs
+  // resolve through each side's own query); pre-existing neighbors gain one.
+  for (std::size_t k = 0; first_new + k < n; ++k) {
+    counts[first_new + k] = nbr_starts[k + 1] - nbr_starts[k];
+    for (std::uint32_t c = nbr_starts[k]; c < nbr_starts[k + 1]; ++c) {
+      const std::uint32_t j = nbr_ids[c];
+      if (j < first_new) ++counts[j];
+    }
+  }
+  return launch;
 }
 
 rt::LaunchStats index_phase2(const index::NeighborIndex& index, float eps,
@@ -106,6 +126,7 @@ rt::LaunchStats index_phase2(const index::NeighborIndex& index, float eps,
                              std::span<std::atomic<std::uint8_t>> claimed,
                              int threads) {
   const std::span<const geom::Vec3> points = index.points();
+  RTD_FAILPOINT("engine.phase2");
 
   // Like phase 1: the order defines which points query (live sessions pass
   // a live-only order; dead slots are never core, so skipping is free).

@@ -76,6 +76,10 @@ rt::LaunchStats index_phase1(const index::NeighborIndex& index,
 /// these lists (cut-adjacent cores and orphaned borders) and capturing
 /// them here costs no extra queries.  Lists may contain other members of
 /// the same batch; consumers filter by liveness.
+///
+/// Exception safety: the queries all run (and may throw) BEFORE any count
+/// is touched; the decrements are a noexcept epilogue over the captured
+/// CSR.  A throw leaves `counts` exactly as it was.
 rt::LaunchStats index_phase1_remove(const index::NeighborIndex& index,
                                     float eps,
                                     std::span<const std::uint32_t> removed,
@@ -88,9 +92,17 @@ rt::LaunchStats index_phase1_remove(const index::NeighborIndex& index,
 /// each PRE-EXISTING neighbor's count (new-new pairs are covered by each
 /// new point's own query).  Must run after the index absorbed the batch.
 /// `counts` is grown to index.size().  Serial, like index_phase1_remove.
+///
+/// Like the removal twin, neighborhoods are captured first into the caller's
+/// CSR scratch (`nbr_ids`, `nbr_starts` — row k spans the neighbors of id
+/// first_new + k) and applied in a noexcept epilogue, so a throw during the
+/// queries (or the `counts` growth, which happens pre-apply) leaves the
+/// pre-existing entries of `counts` untouched.
 rt::LaunchStats index_phase1_insert(const index::NeighborIndex& index,
                                     float eps, std::size_t first_new,
-                                    std::vector<std::uint32_t>& counts);
+                                    std::vector<std::uint32_t>& counts,
+                                    std::vector<std::uint32_t>& nbr_ids,
+                                    std::vector<std::uint32_t>& nbr_starts);
 
 /// Phase 2 over any index: concurrent union-find merges initiated by core
 /// points (Alg. 3 lines 7-18); border points claimed atomically through

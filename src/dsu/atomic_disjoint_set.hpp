@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/failpoint.hpp"
+
 namespace rtd::dsu {
 
 class AtomicDisjointSet {
@@ -40,6 +42,7 @@ class AtomicDisjointSet {
   /// Quiescent only, like reset().
   void reset(std::size_t n) {
     if (n > parent_.size()) {
+      RTD_FAILPOINT("dsu.grow");
       parent_ = std::vector<std::atomic<std::uint32_t>>(n);
     }
     for (std::uint32_t i = 0; i < n; ++i) {

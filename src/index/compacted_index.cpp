@@ -1,5 +1,7 @@
 #include "index/compacted_index.hpp"
 
+#include "common/failpoint.hpp"
+
 namespace rtd::index {
 
 CompactedIndex::CompactedIndex(std::span<const geom::Vec3> slots,
@@ -24,6 +26,7 @@ CompactedIndex::CompactedIndex(std::span<const geom::Vec3> slots,
     slot_of_.push_back(static_cast<std::uint32_t>(i));
     dense_points_.push_back(slots[i]);
   }
+  RTD_FAILPOINT("index.compacted_rebuild");
   inner_ = make_index(dense_points_, eps, kind, options);
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "index/brute_force_index.hpp"
@@ -23,6 +24,7 @@ bool NeighborIndex::try_set_eps(float eps) {
   if (!(eps > 0.0f) || !std::isfinite(eps)) {
     throw std::invalid_argument("try_set_eps: eps must be positive and finite");
   }
+  if (RTD_FAILPOINT_DECLINES("index.refit")) return false;
   return do_try_set_eps(eps);
 }
 
@@ -35,6 +37,7 @@ bool NeighborIndex::try_insert(std::span<const geom::Vec3> all_points,
         "try_insert: all_points must be the current points plus an appended "
         "batch (first_new == size() <= all_points.size())");
   }
+  if (RTD_FAILPOINT_DECLINES("index.insert")) return false;
   const bool ok = do_try_insert(all_points, first_new);
   // Keep the mask covering every id; new points are born live.
   if (ok && !dead_.empty()) dead_.resize(all_points.size(), 0);
@@ -49,6 +52,9 @@ bool NeighborIndex::try_remove(std::span<const std::uint32_t> ids) {
     }
   }
   if (ids.empty()) return true;
+  // Before the mask mutates: a decline here leaves the index untouched, like
+  // a backend that cannot absorb the removal batch.
+  if (RTD_FAILPOINT_DECLINES("index.remove")) return false;
   if (dead_.size() != n) dead_.resize(n, 0);
   for (const std::uint32_t id : ids) {
     if (dead_[id] == 0) {
@@ -127,6 +133,7 @@ std::unique_ptr<NeighborIndex> make_index(std::span<const geom::Vec3> points,
     throw std::invalid_argument("make_index: eps must be positive");
   }
   if (kind == IndexKind::kAuto) kind = choose_index_kind(points, eps);
+  RTD_FAILPOINT("index.build");
   // Honor the requested build parallelism (the tree backends build with
   // parallel_for / parallel builders).
   const ThreadCountGuard guard(

@@ -122,6 +122,58 @@ TEST_F(IoTest, SaveLabeledCsvWritesLabels) {
   EXPECT_NE(line.find(",-1"), std::string::npos);
 }
 
+TEST_F(IoTest, LoadRejectsNonFiniteLiterals) {
+  {
+    std::ofstream f(path("inf.csv"));
+    f << "1,2\ninf,4\n";
+  }
+  {
+    std::ofstream f(path("nan.csv"));
+    f << "1,2\n3,nan\n";
+  }
+  EXPECT_THROW(load_csv(path("inf.csv")), std::runtime_error);
+  EXPECT_THROW(load_csv(path("nan.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, LoadRejectsOverflowToInfinity) {
+  {
+    std::ofstream f(path("huge.csv"));
+    f << "1,2\n1e999,4\n";
+  }
+  EXPECT_THROW(load_csv(path("huge.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, LoadRejectsTrailingGarbageInCell) {
+  {
+    std::ofstream f(path("junk.csv"));
+    f << "1,2\n3.5x,4\n";
+  }
+  EXPECT_THROW(load_csv(path("junk.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, LoadRejectsTruncatedRow) {
+  {
+    std::ofstream f(path("trunc.csv"));
+    f << "1,2\n3\n";  // a write cut off mid-record
+  }
+  EXPECT_THROW(load_csv(path("trunc.csv")), std::runtime_error);
+}
+
+TEST_F(IoTest, LoadErrorNamesTheOffendingRecord) {
+  {
+    std::ofstream f(path("named.csv"));
+    f << "1,2\n3,4\nnan,6\n";
+  }
+  try {
+    load_csv(path("named.csv"));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("nan"), std::string::npos) << what;
+  }
+}
+
 TEST_F(IoTest, SaveLabeledCsvRejectsSizeMismatch) {
   const auto d = taxi_gps(10, 20);
   const std::vector<std::int32_t> labels(5, 0);

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "common/failpoint.hpp"
 #include "core/clusterer.hpp"
 #include "data/generators.hpp"
 #include "index/neighbor_index.hpp"
@@ -210,6 +211,27 @@ TEST(QueryAllocation, WarmMutationCyclesAllocateNothingOnAbsorbingBackends) {
     EXPECT_EQ(during, 0u) << to_string(kind);
     EXPECT_GT(clusters, 0u) << to_string(kind);
   }
+}
+
+TEST(QueryAllocation, FailpointSitesAddNoAllocationsToWarmPaths) {
+  // The hazardous-site instrumentation (common/failpoint.hpp) must not
+  // perturb the zero-allocation contracts this binary certifies.  In the
+  // shipped configuration (RTDBSCAN_FAILPOINTS=OFF) the macros expand to
+  // nothing, so the warm-path tests above already measure the true hot
+  // path; this test pins the macro cost itself to zero allocations.  In a
+  // failpoints-ON test build the unarmed fast path is one relaxed atomic
+  // load per site — still allocation-free once the registry's lazy env
+  // parse has run (warmed below).
+  RTD_FAILPOINT("engine.phase1");  // warm: triggers the one-time env parse
+  const std::uint64_t during = allocations_during([] {
+    for (int i = 0; i < 4096; ++i) {
+      RTD_FAILPOINT("engine.phase1");
+      if (RTD_FAILPOINT_DECLINES("index.insert")) std::abort();
+    }
+  });
+  EXPECT_EQ(during, 0u)
+      << (fail::compiled_in() ? "unarmed failpoints-ON build allocated"
+                              : "compiled-out failpoint macro allocated");
 }
 
 TEST(QueryAllocation, ScratchArenaReusesCapacity) {
