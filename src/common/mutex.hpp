@@ -1,0 +1,57 @@
+// rtd::Mutex / rtd::MutexLock — std::mutex behind Clang Thread Safety
+// Analysis capability annotations.
+//
+// libstdc++'s std::mutex and std::lock_guard carry no `capability` /
+// `scoped_lockable` attributes, so code locking them is invisible to
+// `-Wthread-safety`: every access to a guarded field would be diagnosed
+// even with the lock correctly held.  These wrappers are the exact same
+// code at runtime (a std::mutex and an RAII guard, both zero-overhead
+// around the underlying calls) but expose the lock discipline to the
+// analysis.  All mutex-guarded state in this tree uses them; see
+// common/thread_annotations.hpp for the conventions.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace rtd {
+
+/// An exclusive capability wrapping std::mutex.  Satisfies Lockable, so
+/// std::scoped_lock/std::unique_lock still work where needed — but prefer
+/// rtd::MutexLock, which the analysis understands.
+class RTD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RTD_ACQUIRE() { mu_.lock(); }
+  void unlock() RTD_RELEASE() { mu_.unlock(); }
+  bool try_lock() RTD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Declare (without runtime cost) that the calling context holds this
+  /// mutex.  Used at the top of lambdas that always run under a lock taken
+  /// by their caller: the analysis treats a lambda body as a separate
+  /// function, so the caller's lock set is not visible inside it.
+  void assert_held() const RTD_ASSERT_CAPABILITY() {}
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for rtd::Mutex, annotated so the analysis tracks its scope
+/// (std::lock_guard is opaque to it).  Never copied, never unlocked early.
+class RTD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RTD_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RTD_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace rtd

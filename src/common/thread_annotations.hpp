@@ -1,0 +1,84 @@
+// Portable Clang Thread Safety Analysis annotations.
+//
+// These macros attach compile-time concurrency contracts to types, fields
+// and functions: which mutex guards which field, which functions must be
+// called with a lock held, which acquire/release one.  Under Clang with
+// `-Wthread-safety` (CMake option RTDBSCAN_THREAD_SAFETY=ON, preset
+// `static-analysis`) violations are hard compile errors; on every other
+// compiler the macros expand to nothing, so the annotations are pure
+// documentation with zero cost.
+//
+// Conventions in this tree (see docs/ARCHITECTURE.md, "Static analysis &
+// concurrency contracts"):
+//  * Lockable state uses rtd::Mutex / rtd::MutexLock (common/mutex.hpp) —
+//    std::mutex carries no capability attributes under libstdc++, so the
+//    analysis cannot see through it.
+//  * Every field whose access is serialized by a mutex is RTD_GUARDED_BY
+//    that mutex; helper functions whose callers must hold it are
+//    RTD_REQUIRES.
+//  * Lambdas that run with a lock held but are defined outside its scope
+//    re-assert the capability with Mutex::assert_held() as their first
+//    statement (the analysis treats a lambda body as a separate function
+//    and cannot see the caller's lock set).
+//  * RTD_NO_TSA is a last resort and needs a justification comment, same
+//    as a clang-tidy NOLINT.
+//
+// Macro names and semantics follow the LLVM reference
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed RTD_.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define RTD_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef RTD_THREAD_ANNOTATION__
+#define RTD_THREAD_ANNOTATION__(x)  // not Clang: annotations are comments
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names it in diagnostics).
+#define RTD_CAPABILITY(x) RTD_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define RTD_SCOPED_CAPABILITY RTD_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field/variable may only be accessed while holding `x`.
+#define RTD_GUARDED_BY(x) RTD_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding `x`.
+#define RTD_PT_GUARDED_BY(x) RTD_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function acquires the capability (and must be called without it held).
+#define RTD_ACQUIRE(...) \
+  RTD_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (and must be called with it held).
+#define RTD_RELEASE(...) \
+  RTD_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns `value`.
+#define RTD_TRY_ACQUIRE(value, ...) \
+  RTD_THREAD_ANNOTATION__(try_acquire_capability(value, __VA_ARGS__))
+
+/// Callers must hold the capability exclusively for the call's duration.
+#define RTD_REQUIRES(...) \
+  RTD_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Callers must hold the capability at least shared.
+#define RTD_REQUIRES_SHARED(...) \
+  RTD_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Callers must NOT hold the capability (deadlock prevention).
+#define RTD_EXCLUDES(...) RTD_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function checks/assumes at runtime that the capability is held; the
+/// analysis trusts it from the call point on (Mutex::assert_held()).
+#define RTD_ASSERT_CAPABILITY(...) \
+  RTD_THREAD_ANNOTATION__(assert_capability(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define RTD_RETURN_CAPABILITY(x) RTD_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Opt a function out of the analysis entirely.  Last resort; every use
+/// carries a one-line justification comment.
+#define RTD_NO_TSA RTD_THREAD_ANNOTATION__(no_thread_safety_analysis)
