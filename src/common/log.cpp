@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/mutex.hpp"
+
 namespace rtd {
 
 namespace {
@@ -19,6 +21,12 @@ LogLevel initial_level() {
 }
 
 std::atomic<LogLevel> g_level{initial_level()};
+
+// Serializes one log line's tag/body/newline triple: each fprintf call is
+// atomic per C11, but the triple is not, so two serving threads logging at
+// once could interleave mid-line.  g_level deliberately stays a lock-free
+// atomic — the filtered-out case must cost one relaxed-ish load, no lock.
+Mutex g_io_mu;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -38,12 +46,15 @@ LogLevel log_level() { return g_level.load(); }
 
 void logf(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) > static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[rtd %s] ", level_tag(level));
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  {
+    const MutexLock lock(g_io_mu);
+    std::fprintf(stderr, "[rtd %s] ", level_tag(level));
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+  }
   va_end(args);
-  std::fputc('\n', stderr);
 }
 
 }  // namespace rtd
