@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 #include <new>
 #include <random>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace rtd::fail {
 
@@ -44,11 +46,11 @@ struct Armed {
 };
 
 struct Registry {
-  std::mutex mu;
+  Mutex mu;
   // Keyed by canonical site name.  Entries persist after disarm so the
   // hit/fire counters survive for test assertions; `live` marks armed ones.
-  std::unordered_map<std::string, Armed> armed;
-  std::unordered_map<std::string, Armed> retired;
+  std::unordered_map<std::string, Armed> armed RTD_GUARDED_BY(mu);
+  std::unordered_map<std::string, Armed> retired RTD_GUARDED_BY(mu);
 };
 
 std::atomic<std::uint64_t> g_armed_count{0};
@@ -73,20 +75,21 @@ bool known_site(std::string_view site) {
   throw std::runtime_error("failpoint fired: " + site);
 }
 
-void parse_env_spec(const char* spec);
+void parse_env_spec(Registry& r, const char* spec) RTD_REQUIRES(r.mu);
 
 // Parse RTDBSCAN_FAILPOINTS once, lazily, so env-armed sites work without
-// any code calling arm().  Guarded by the registry mutex callers hold.
-void ensure_env_parsed_locked() {
+// any code calling arm().  Callers hold the registry mutex.
+void ensure_env_parsed(Registry& r) RTD_REQUIRES(r.mu) {
   static bool parsed = false;
   if (parsed) return;
   parsed = true;
   if (const char* spec = std::getenv("RTDBSCAN_FAILPOINTS")) {
-    parse_env_spec(spec);
+    parse_env_spec(r, spec);
   }
 }
 
-void arm_locked(const std::string& site, const Config& config) {
+void arm_locked(Registry& r, const std::string& site, const Config& config)
+    RTD_REQUIRES(r.mu) {
   if (!known_site(site)) {
     throw std::invalid_argument("failpoint: unknown site '" + site + "'");
   }
@@ -100,7 +103,6 @@ void arm_locked(const std::string& site, const Config& config) {
     throw std::invalid_argument(
         "failpoint: probability must be in [0, 1]");
   }
-  Registry& r = registry();
   auto [it, inserted] = r.armed.try_emplace(site);
   it->second.config = config;
   it->second.rng.seed(config.seed);
@@ -110,7 +112,7 @@ void arm_locked(const std::string& site, const Config& config) {
 // spec: site=action[@trigger][;site=action[@trigger]]...
 // action: badalloc | error | decline
 // trigger: hit:N | every:K | p:P[:seed]
-void parse_env_spec(const char* spec) {
+void parse_env_spec(Registry& r, const char* spec) {
   std::string_view rest(spec);
   while (!rest.empty()) {
     const std::size_t semi = rest.find(';');
@@ -166,7 +168,7 @@ void parse_env_spec(const char* spec) {
                                     std::string(trig) + "'");
       }
     }
-    arm_locked(site, config);
+    arm_locked(r, site, config);
   }
 }
 
@@ -178,14 +180,14 @@ void arm(std::string_view site, const Config& config) {
         "failpoint: build compiled without RTDBSCAN_FAILPOINTS=ON");
   }
   Registry& r = registry();
-  std::lock_guard lock(r.mu);
-  ensure_env_parsed_locked();
-  arm_locked(std::string(site), config);
+  const MutexLock lock(r.mu);
+  ensure_env_parsed(r);
+  arm_locked(r, std::string(site), config);
 }
 
 void disarm(std::string_view site) {
   Registry& r = registry();
-  std::lock_guard lock(r.mu);
+  const MutexLock lock(r.mu);
   auto it = r.armed.find(std::string(site));
   if (it == r.armed.end()) return;
   // Keep the counters readable after disarm.
@@ -198,7 +200,7 @@ void disarm(std::string_view site) {
 
 void disarm_all() {
   Registry& r = registry();
-  std::lock_guard lock(r.mu);
+  const MutexLock lock(r.mu);
   for (auto& [site, armed] : r.armed) {
     Armed& retired = r.retired[site];
     retired.hits += armed.hits;
@@ -210,7 +212,7 @@ void disarm_all() {
 
 std::uint64_t hit_count(std::string_view site) {
   Registry& r = registry();
-  std::lock_guard lock(r.mu);
+  const MutexLock lock(r.mu);
   std::uint64_t total = 0;
   if (auto it = r.armed.find(std::string(site)); it != r.armed.end()) {
     total += it->second.hits;
@@ -223,7 +225,7 @@ std::uint64_t hit_count(std::string_view site) {
 
 std::uint64_t fire_count(std::string_view site) {
   Registry& r = registry();
-  std::lock_guard lock(r.mu);
+  const MutexLock lock(r.mu);
   std::uint64_t total = 0;
   if (auto it = r.armed.find(std::string(site)); it != r.armed.end()) {
     total += it->second.fires;
@@ -242,8 +244,8 @@ bool any_armed() noexcept {
   static std::atomic<bool> env_checked{false};
   if (!env_checked.load(std::memory_order_acquire)) {
     Registry& r = registry();
-    std::lock_guard lock(r.mu);
-    ensure_env_parsed_locked();
+    const MutexLock lock(r.mu);
+    ensure_env_parsed(r);
     env_checked.store(true, std::memory_order_release);
   }
   return g_armed_count.load(std::memory_order_relaxed) > 0;
@@ -254,7 +256,7 @@ bool hit(const char* site) {
   Action action;
   std::string name;
   {
-    std::lock_guard lock(r.mu);
+    const MutexLock lock(r.mu);
     auto it = r.armed.find(site);
     if (it == r.armed.end()) return false;
     Armed& a = it->second;

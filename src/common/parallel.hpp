@@ -4,6 +4,22 @@
 // this reproduction they are OpenMP parallel regions.  Centralizing the
 // pattern here keeps every algorithm file free of raw pragmas and lets tests
 // force single-threaded execution deterministically.
+//
+// Concurrency contracts (machine-checked; see docs/ARCHITECTURE.md "Static
+// analysis & concurrency contracts" and scripts/lint_invariants.py):
+//  * Loop bodies passed to these helpers run on OMP worker threads.  They
+//    must not take locks the launching thread may hold, must not touch
+//    mutex-guarded session state, and must not contain failpoint sites
+//    (RTD_FAILPOINT throwing from inside a parallel region would terminate
+//    the process — the linter rejects any lexically-nested site).
+//  * `static thread_local` names referenced from a loop body resolve to the
+//    EXECUTING worker's instance, not the launching thread's — the PR 6
+//    trap documented in rt/parallel_launch.hpp.  Per-thread state crosses
+//    into a region via make()/make_ctx() factories below, never via
+//    thread_local storage owned by the launcher.
+//  * ThreadCountGuard mutates process-global OpenMP state: construct it
+//    only from a single-writer context (benchmark mains, the session's
+//    serialized launch path), never concurrently with another launch.
 #pragma once
 
 #include <omp.h>

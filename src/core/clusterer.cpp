@@ -4,12 +4,13 @@
 #include <array>
 #include <cmath>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
 #include "common/failpoint.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/timer.hpp"
 #include "dbscan/engine.hpp"
 #include "dbscan/equivalence.hpp"
@@ -104,9 +105,9 @@ struct Clusterer::Impl {
   // object is aliased by any snapshot — if so, the writer must never mutate
   // it: it swaps in a freshly built replacement instead, and the old
   // structure is reclaimed when the last snapshot holder releases it.
-  std::mutex publish_mu;
+  Mutex publish_mu;
   std::atomic<std::shared_ptr<const IndexSnapshot>> published;
-  bool index_shared = false;
+  bool index_shared RTD_GUARDED_BY(publish_mu) = false;
 
   // --- triangle geometry (§VI-C): delegate to the RT runner ---------------
   std::optional<core::RtDbscanRunner> runner;
@@ -222,7 +223,7 @@ struct Clusterer::Impl {
   /// slot-id translation) when tombstones exist — a plain rebuild over the
   /// full span would resurrect them.  Caller holds publish_mu whenever a
   /// snapshot could exist.  Resets the absorbed-mutation budget.
-  void build_index_now(float eps) {
+  void build_index_now(float eps) RTD_REQUIRES(publish_mu) {
     if (resolved == IndexKind::kAuto) {
       resolved = opts.backend == IndexKind::kAuto
                      ? index::choose_index_kind(pts, eps)
@@ -276,13 +277,13 @@ struct Clusterer::Impl {
     }
     if (!index) {
       Timer t;
-      const std::lock_guard<std::mutex> lock(publish_mu);
+      const MutexLock lock(publish_mu);
       build_index_now(eps);
       es.rebuilt = true;
       es.seconds = t.seconds();
     } else if (eps != index_eps) {
       Timer t;
-      const std::lock_guard<std::mutex> lock(publish_mu);
+      const MutexLock lock(publish_mu);
       // Unpublish first: new readers re-snapshot the post-retarget index;
       // in-flight readers' own shared_ptr copies keep the old snapshot
       // (and through it the old structure) alive until they finish.
@@ -315,7 +316,7 @@ struct Clusterer::Impl {
   void sweep_retarget(float eps, float eps_max, EnsureStats& step) {
     if (eps == index_eps) return;
     const Timer t;
-    const std::lock_guard<std::mutex> lock(publish_mu);
+    const MutexLock lock(publish_mu);
     published.store(nullptr);
     if (index_shared) {
       build_index_now(eps_max);
@@ -344,7 +345,7 @@ struct Clusterer::Impl {
     }
     std::shared_ptr<const IndexSnapshot> snap = published.load();
     if (snap) return snap;
-    const std::lock_guard<std::mutex> lock(publish_mu);
+    const MutexLock lock(publish_mu);
     snap = published.load();
     if (snap) return snap;
     if (!index) {
@@ -737,6 +738,10 @@ struct Clusterer::Impl {
     // stay safe: published is nulled and any snapshot taken meanwhile owns
     // its own references to whatever structure it captured.
     const auto rollback_batch_locked = [&]() noexcept {
+      // Defined outside the lock scope but only ever called with publish_mu
+      // held (both call sites below) — re-assert for the analysis, which
+      // treats the lambda body as a separate function.
+      publish_mu.assert_held();
       published.store(nullptr);
       if (index_hazard) {
         index.reset();
@@ -754,7 +759,7 @@ struct Clusterer::Impl {
       rollback_removal();
     };
     {
-      const std::lock_guard<std::mutex> lock(publish_mu);
+      const MutexLock lock(publish_mu);
       published.store(nullptr);
       try {
         if (!add.empty()) {
@@ -828,7 +833,7 @@ struct Clusterer::Impl {
       } catch (...) {
         counts.resize(n);  // drop any new rows the engine had grown
         {
-          const std::lock_guard<std::mutex> lock(publish_mu);
+          const MutexLock lock(publish_mu);
           rollback_batch_locked();
         }
         restore_stats();

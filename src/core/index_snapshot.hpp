@@ -38,6 +38,14 @@
 // query contract).  The snapshot shares ownership of the session's owned
 // point storage; for sessions created with Clusterer::borrowing, the
 // caller's storage must outlive every snapshot, not just the session.
+//
+// Under the Clang thread-safety gate (common/thread_annotations.hpp) this
+// class deliberately carries no capability annotations: it is immutable
+// after construction, so there is no guarded state to annotate — safety
+// comes from const-ness and shared_ptr reclamation, both of which the
+// compiler already enforces.  The mutable publish/retarget discipline that
+// FEEDS snapshots (publish_mu, index_shared) is annotated in
+// core/clusterer.cpp.
 #pragma once
 
 #include <cstdint>
