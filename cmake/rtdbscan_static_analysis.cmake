@@ -1,0 +1,43 @@
+# Static-analysis gates (ISSUE 9): Clang Thread Safety Analysis and
+# clang-tidy.  Both are opt-in options wired to the `static-analysis`
+# preset and CI job; neither affects the default GCC/Clang builds.
+#
+# This file must be included BEFORE any target is created:
+# CMAKE_CXX_CLANG_TIDY is captured per-target at add_library/add_executable
+# time.
+
+# Editors and every analysis tool (clang-tidy, clangd, the invariant
+# linter's self-containment probe) read the exact flags the build uses from
+# compile_commands.json — export it unconditionally so all presets agree.
+set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
+
+if(RTDBSCAN_THREAD_SAFETY)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+      "RTDBSCAN_THREAD_SAFETY=ON requires Clang: the thread-safety "
+      "annotations (src/common/thread_annotations.hpp) expand to nothing "
+      "on '${CMAKE_CXX_COMPILER_ID}', so the gate would silently pass "
+      "without checking anything.  Configure with the 'static-analysis' "
+      "preset or -DCMAKE_CXX_COMPILER=clang++.")
+  endif()
+  # Fatal on their own so the gate holds even when RTDBSCAN_WERROR is OFF.
+  add_compile_options(-Wthread-safety -Werror=thread-safety)
+endif()
+
+if(RTDBSCAN_CLANG_TIDY)
+  find_program(RTDBSCAN_CLANG_TIDY_EXE
+    NAMES clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16
+          clang-tidy-15 clang-tidy-14
+    DOC "clang-tidy executable for the RTDBSCAN_CLANG_TIDY gate")
+  if(NOT RTDBSCAN_CLANG_TIDY_EXE)
+    message(FATAL_ERROR
+      "RTDBSCAN_CLANG_TIDY=ON but no clang-tidy executable was found. "
+      "Install clang-tidy or configure without the option.")
+  endif()
+  # Check selection and per-check options live in .clang-tidy at the repo
+  # root; --warnings-as-errors here makes every enabled finding fatal so
+  # the CI gate cannot rot.  Each source is checked as it compiles.
+  set(CMAKE_CXX_CLANG_TIDY
+    ${RTDBSCAN_CLANG_TIDY_EXE} --warnings-as-errors=*)
+  message(STATUS "clang-tidy gate enabled: ${RTDBSCAN_CLANG_TIDY_EXE}")
+endif()
