@@ -1,0 +1,5 @@
+#pragma once
+
+#include <vector>
+
+inline std::vector<int> make_empty() { return {}; }

@@ -1,0 +1,23 @@
+// Seeded violation: a failpoint site lexically inside an OMP parallel
+// region (both the braced-block and the plain-for forms are exercised).
+#define RTD_FAILPOINT(site) \
+  do {                      \
+  } while (false)
+
+void braced(int n) {
+#pragma omp parallel
+  {
+    for (int i = 0; i < n; ++i) {
+      RTD_FAILPOINT("engine.phase1");
+    }
+  }
+}
+
+void single_statement(int* out, int n) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) out[i] = RTD_FAILPOINT_DECLINES("x.y") ? 0 : i;
+}
+
+void serial_is_fine() {
+  RTD_FAILPOINT("engine.phase2");  // outside any region: not a violation
+}

@@ -1,0 +1,5 @@
+#pragma once
+
+// Seeded violation: uses std::vector without including <vector>; only
+// compiles when the includer happened to pull the header in first.
+inline std::vector<int> make_empty() { return {}; }

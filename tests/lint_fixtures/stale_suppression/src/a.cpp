@@ -1,0 +1,1 @@
+int live_code() { return 42; }

@@ -1,0 +1,14 @@
+#pragma once
+
+// Seeded violation: no lint:allow waiver on this one.
+inline int& counter() {
+  static thread_local int c = 0;
+  return c;
+}
+
+// Waived: must NOT be reported.
+inline int& waived_counter() {
+  // lint:allow(static-thread-local): fixture waiver, reason recorded
+  static thread_local int w = 0;
+  return w;
+}

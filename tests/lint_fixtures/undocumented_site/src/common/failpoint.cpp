@@ -1,0 +1,5 @@
+// Fixture mirror of the canonical registry shape.
+static const std::vector<std::string> kSites = {
+    "alpha.one",  // documented and used
+    "beta.two",   // used but missing from docs + chaos coverage
+};

@@ -1,0 +1,5 @@
+void f() {
+  RTD_FAILPOINT("alpha.one");
+  RTD_FAILPOINT("beta.two");
+  RTD_FAILPOINT("gamma.rogue");  // not in the canonical list
+}

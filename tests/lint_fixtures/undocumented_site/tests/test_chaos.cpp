@@ -1,0 +1,2 @@
+// coverage dispatch mentions alpha.one only
+const bool a = site == "alpha.one";

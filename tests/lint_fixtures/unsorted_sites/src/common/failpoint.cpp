@@ -1,0 +1,4 @@
+static const std::vector<std::string> kSites = {
+    "beta.two",
+    "alpha.one",  // out of order
+};

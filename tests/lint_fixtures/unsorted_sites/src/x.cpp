@@ -1,0 +1,4 @@
+void f() {
+  RTD_FAILPOINT("alpha.one");
+  RTD_FAILPOINT("beta.two");
+}

@@ -1,0 +1,1 @@
+// alpha.one beta.two
