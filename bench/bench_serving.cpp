@@ -12,6 +12,7 @@
 // on a multi-core host QPS should scale up instead).
 //
 //   ./bench_serving [--n N] [--requests Q] [--readers R] [--json]
+//                   [--trace out.json]
 //
 // --json prints one machine-readable document (consumed by the snapshot
 // script); the default is a human table.
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/clusterer.hpp"
 #include "data/generators.hpp"
@@ -118,6 +120,7 @@ ServeResult serve(const Clusterer& session, std::span<const Vec3> requests,
 int main(int argc, char** argv) {
   using namespace rtd;
   const Flags flags(argc, argv);
+  const cli::TraceSink trace(flags);
   const auto cfg = bench::BenchConfig::from_flags(flags);
   const bool json = flags.get_bool("json", false);
   const auto n =

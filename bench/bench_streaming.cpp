@@ -15,12 +15,14 @@
 // threshold absorbs them less often).
 //
 //   ./bench_streaming [--n N] [--eps E] [--minpts M] [--reps R] [--json]
+//                     [--trace out.json]
 #include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/clusterer.hpp"
 #include "data/generators.hpp"
@@ -46,6 +48,7 @@ struct StreamRow {
 int main(int argc, char** argv) {
   using namespace rtd;
   const Flags flags(argc, argv);
+  const cli::TraceSink trace(flags);
   const auto cfg = bench::BenchConfig::from_flags(flags);
   const bool json = flags.get_bool("json", false);
   const auto n =

@@ -2,14 +2,16 @@
 // runtime-selectable neighbor backend and traversal width.
 //
 //   ./quickstart [--n 20000] [--eps 0.4] [--minpts 10] [--backend auto]
-//                [--width auto]
+//                [--width auto] [--trace out.json]
 //
 // --backend is any rtd::index::IndexKind name (auto, bvhrt, pointbvh, grid,
 // densebox, brute); --width picks the BVH traversal layout (auto, binary,
-// wide, quantized).  Demonstrates rtd::Clusterer — the session is built
-// once, the first run() pays the index build, and the second run() at a new
-// min_pts reuses the cached neighbor counts (phase 1 skipped).  This file
-// is the README's "Quick use" snippet, kept compiling.
+// wide, quantized); --trace drains the run's telemetry spans into a Chrome
+// trace-event JSON file (needs a build with -DRTDBSCAN_TELEMETRY=ON).
+// Demonstrates rtd::Clusterer — the session is built once, the first run()
+// pays the index build, and the second run() at a new min_pts reuses the
+// cached neighbor counts (phase 1 skipped).  This file is the README's
+// "Quick use" snippet, kept compiling.
 #include <cstdio>
 
 #include "common/cli.hpp"
@@ -18,6 +20,8 @@
 
 int main(int argc, char** argv) {
   const rtd::Flags flags(argc, argv);
+  // Arms telemetry when --trace is given; writes the trace on scope exit.
+  const rtd::cli::TraceSink trace(flags);
   const auto n = static_cast<std::size_t>(flags.get_int("n", 20000));
   const float eps = static_cast<float>(flags.get_double("eps", 0.4));
   const auto min_pts =

@@ -5,15 +5,22 @@
 // rebuild per window.  The densest clusters of each window are the current
 // hotspots.
 //
+// Each window row also reports the step's mutation latency: from the
+// telemetry registry (Clusterer::metrics(), histogram mutation.latency)
+// when the build carries it, else from the maintained RunStats — both read
+// the same clock, so the numbers agree either way.
+//
 //   ./trajectory_hotspots [--n 80000] [--eps 0.25] [--minpts 50]
-//                         [--window 20000] [--step 5000]
+//                         [--window 20000] [--step 5000] [--trace out.json]
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/flags.hpp"
 #include "core/clusterer.hpp"
 #include "data/generators.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -46,11 +53,28 @@ std::vector<Hotspot> hotspots(const rtd::Clusterer& session) {
   return spots;
 }
 
-void print_window(const char* tag, const rtd::Clusterer& session) {
+// This step's mutation latency in ms.  With metrics armed, the delta of the
+// process-wide mutation.latency histogram sum since the previous window
+// (`last_sum` carries the running total); compiled out or disarmed, the
+// maintained result's own per-mutation timing — the same Timer value.
+double window_mutation_ms(const rtd::Clusterer& session, double& last_sum) {
+  if (rtd::telemetry::metrics_armed()) {
+    const rtd::telemetry::MetricsSnapshot m = session.metrics();
+    const rtd::telemetry::HistogramSnapshot& h =
+        m.histogram(rtd::telemetry::Histogram::kMutationLatency);
+    const double ms = (h.sum_seconds - last_sum) * 1e3;
+    last_sum = h.sum_seconds;
+    return ms;
+  }
+  return session.result().stats.timings.total_seconds * 1e3;
+}
+
+void print_window(const char* tag, const rtd::Clusterer& session,
+                  double mutation_ms) {
   const auto& r = session.result();
   const auto spots = hotspots(session);
-  std::printf("  %-12s clusters: %3u  live: %6zu  ", tag, r.cluster_count,
-              session.live_count());
+  std::printf("  %-12s clusters: %3u  live: %6zu  mutation: %7.2f ms  ", tag,
+              r.cluster_count, session.live_count(), mutation_ms);
   if (spots.empty() || spots.front().size == 0) {
     std::printf("no hotspot\n");
     return;
@@ -65,6 +89,7 @@ void print_window(const char* tag, const rtd::Clusterer& session) {
 
 int main(int argc, char** argv) {
   const rtd::Flags flags(argc, argv);
+  const rtd::cli::TraceSink trace(flags);  // --trace out.json
   const auto n = static_cast<std::size_t>(flags.get_int("n", 80000));
   const float eps = static_cast<float>(flags.get_double("eps", 0.25));
   const auto min_pts =
@@ -81,9 +106,16 @@ int main(int argc, char** argv) {
       "step %zu\n",
       stream.size(), window, step);
 
+  // Arm the metric updates when the build carries them, so the per-window
+  // latency below comes from the registry (no-op request otherwise).
+  if (rtd::telemetry::compiled_in()) {
+    rtd::telemetry::arm(rtd::telemetry::kMetrics);
+  }
+
   rtd::Clusterer session(stream.subspan(0, window));
   (void)session.run(eps, min_pts);
-  print_window("t=0", session);
+  double latency_sum = 0.0;  // running mutation.latency total (seconds)
+  print_window("t=0", session, 0.0);  // the first window ran, not mutated
 
   std::size_t cursor = window;
   std::size_t step_no = 0;
@@ -93,7 +125,7 @@ int main(int argc, char** argv) {
     cursor += take;
     char tag[32];
     std::snprintf(tag, sizeof(tag), "t=%zu", ++step_no);
-    print_window(tag, session);
+    print_window(tag, session, window_mutation_ms(session, latency_sum));
   }
 
   // Smoke check: the maintained final window must agree with clustering it

@@ -16,6 +16,18 @@ Rules (each can be listed with --list-rules):
                           docs/ARCHITECTURE.md site table and in the chaos
                           soak's coverage dispatch (tests/test_chaos.cpp), so
                           new sites cannot land undocumented or untested.
+  trace-span-in-omp       RTD_TRACE_SPAN must never appear lexically inside
+                          an `#pragma omp parallel` region: spans belong at
+                          serial boundaries (a per-worker span would hammer
+                          the thread rings from inside the hot launch and
+                          skew the very latencies it reports).
+  trace-span-site-registry Every RTD_TRACE_SPAN site name is in the canonical
+                          all_span_sites() list (src/telemetry/telemetry.cpp),
+                          every canonical name is used at least once, and the
+                          list stays sorted (its comment promises it).
+  trace-span-site-docs    Every canonical span site appears in the
+                          docs/ARCHITECTURE.md span-site table, so new spans
+                          cannot land undocumented.
   thread-local-header     No `static thread_local` in headers: names
                           referenced from inside an OMP worker lambda resolve
                           to the EXECUTING thread's instance, not the
@@ -53,6 +65,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 FAILPOINT_RE = re.compile(r"RTD_FAILPOINT(?:_DECLINES)?\s*\(\s*\"([^\"]+)\"")
+TRACE_SPAN_RE = re.compile(r"RTD_TRACE_SPAN\s*\(\s*\"([^\"]+)\"")
 OMP_PARALLEL_RE = re.compile(r"^\s*#\s*pragma\s+omp\s+parallel\b", re.MULTILINE)
 THREAD_LOCAL_RE = re.compile(r"\bstatic\s+thread_local\b|\bthread_local\s+static\b")
 THREAD_LOCAL_WAIVER_RE = re.compile(r"lint:allow\(static-thread-local\):\s*\S")
@@ -268,6 +281,109 @@ def check_failpoint_sites(repo: Path) -> list[Violation]:
     return violations
 
 
+# --- rule: trace-span-in-omp --------------------------------------------------
+
+def check_trace_span_in_omp(repo: Path) -> list[Violation]:
+    violations = []
+    for path in source_files(repo):
+        text = path.read_text(encoding="utf-8", errors="replace")
+        if "RTD_TRACE_SPAN" not in text or "pragma omp parallel" not in text:
+            continue
+        clean = strip_comments_and_strings(text)
+        rel = str(path.relative_to(repo))
+        for m in OMP_PARALLEL_RE.finditer(clean):
+            line_end = clean.find("\n", m.end())
+            while line_end != -1 and clean[line_end - 1] == "\\":
+                line_end = clean.find("\n", line_end + 1)
+            if line_end == -1:
+                line_end = len(clean)
+            lo, hi = omp_region_span(clean, line_end)
+            for sp in re.finditer(r"RTD_TRACE_SPAN\b", clean[lo:hi]):
+                violations.append(Violation(
+                    "trace-span-in-omp", rel, line_of(clean, lo + sp.start()),
+                    "trace span inside an '#pragma omp parallel' region "
+                    f"(region opened at line {line_of(clean, m.start())}); "
+                    "spans belong at serial boundaries — a per-worker span "
+                    "hammers the thread rings from inside the hot launch and "
+                    "skews the very latencies it reports"))
+    return violations
+
+
+# --- rules: trace-span-site-registry / trace-span-site-docs --------------------
+
+def canonical_span_sites(repo: Path) -> tuple[list[str], Path | None, int]:
+    """Span-site names from the kSpanSites initializer in
+    src/telemetry/telemetry.cpp, with the file and the list's first line
+    (None when the registry is not part of this tree, e.g. lint fixtures)."""
+    reg = repo / "src" / "telemetry" / "telemetry.cpp"
+    if not reg.is_file():
+        return ([], None, 0)
+    text = reg.read_text(encoding="utf-8", errors="replace")
+    m = re.search(r"kSpanSites\s*=\s*\{(.*?)\};", text, re.DOTALL)
+    if not m:
+        return ([], reg, 0)
+    names = re.findall(r"\"([^\"]+)\"", m.group(1))
+    return (names, reg, line_of(text, m.start()))
+
+
+def used_span_sites(repo: Path) -> dict[str, tuple[str, int]]:
+    """span site name -> first (file, line) using it, excluding the telemetry
+    subsystem's own files (the macro definition and the canonical list)."""
+    uses: dict[str, tuple[str, int]] = {}
+    for path in source_files(repo):
+        if path.name in ("telemetry.hpp", "telemetry.cpp"):
+            continue
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for m in TRACE_SPAN_RE.finditer(text):
+            uses.setdefault(m.group(1),
+                            (str(path.relative_to(repo)), line_of(text, m.start())))
+    return uses
+
+
+def check_trace_span_sites(repo: Path) -> list[Violation]:
+    sites, reg, reg_line = canonical_span_sites(repo)
+    if reg is None:
+        return []
+    violations = []
+    rel_reg = str(reg.relative_to(repo))
+    if sites != sorted(sites):
+        violations.append(Violation(
+            "trace-span-site-registry", rel_reg, reg_line,
+            "all_span_sites() list is not sorted (its comment promises it "
+            "is; the docs table relies on stable order)"))
+    uses = used_span_sites(repo)
+    for name, (path, line) in sorted(uses.items()):
+        if name not in sites:
+            violations.append(Violation(
+                "trace-span-site-registry", path, line,
+                f"span site '{name}' is not in the canonical "
+                f"all_span_sites() list ({rel_reg}) — the trace viewer's "
+                "site legend and the docs table would never mention it"))
+    for name in sites:
+        if name not in uses:
+            violations.append(Violation(
+                "trace-span-site-registry", rel_reg, reg_line,
+                f"canonical span site '{name}' has no RTD_TRACE_SPAN use in "
+                "src/ — remove it or wire the span"))
+
+    docs = repo / "docs" / "ARCHITECTURE.md"
+    if not docs.is_file():
+        if sites:
+            violations.append(Violation(
+                "trace-span-site-docs", rel_reg, reg_line,
+                "cannot check the docs/ARCHITECTURE.md span-site table: "
+                "docs/ARCHITECTURE.md does not exist"))
+        return violations
+    text = docs.read_text(encoding="utf-8", errors="replace")
+    for name in sites:
+        if name not in text:
+            violations.append(Violation(
+                "trace-span-site-docs", "docs/ARCHITECTURE.md", 1,
+                f"canonical span site '{name}' is missing from the "
+                "docs/ARCHITECTURE.md span-site table"))
+    return violations
+
+
 # --- rule: thread-local-header ----------------------------------------------
 
 def check_thread_local_headers(repo: Path) -> list[Violation]:
@@ -392,6 +508,9 @@ RULES = [
     ("failpoint-in-omp", lambda repo, args: check_failpoint_in_omp(repo)),
     ("failpoint-site-registry / failpoint-site-docs",
      lambda repo, args: check_failpoint_sites(repo)),
+    ("trace-span-in-omp", lambda repo, args: check_trace_span_in_omp(repo)),
+    ("trace-span-site-registry / trace-span-site-docs",
+     lambda repo, args: check_trace_span_sites(repo)),
     ("thread-local-header", lambda repo, args: check_thread_local_headers(repo)),
     ("header-self-contained",
      lambda repo, args: [] if args.skip_compile

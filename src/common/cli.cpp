@@ -1,7 +1,10 @@
 #include "common/cli.hpp"
 
 #include <cstdio>
+#include <exception>
 #include <string>
+
+#include "telemetry/telemetry.hpp"
 
 namespace rtd::cli {
 
@@ -31,6 +34,37 @@ std::optional<rt::TraversalWidth> width_flag(const Flags& flags,
     return std::nullopt;
   }
   return parsed;
+}
+
+TraceSink::TraceSink(const Flags& flags, const char* name) {
+  if (!flags.has(name)) return;
+  path_ = flags.get(name, "");
+  if (path_.empty()) {
+    std::fprintf(stderr, "--%s needs a file path; tracing disabled\n", name);
+    return;
+  }
+  if (!telemetry::compiled_in()) {
+    std::fprintf(
+        stderr,
+        "--%s ignored: this build was compiled without RTDBSCAN_TELEMETRY=ON\n",
+        name);
+    return;
+  }
+  telemetry::arm(telemetry::kMetrics | telemetry::kTrace);
+  active_ = true;
+}
+
+TraceSink::~TraceSink() {
+  if (!active_) return;
+  // A destructor must not throw: report the failure and carry on — the
+  // traced binary's own exit path owns the process status.
+  try {
+    telemetry::write_trace(path_);
+    std::fprintf(stderr, "trace written to %s\n", path_.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to write trace %s: %s\n", path_.c_str(),
+                 e.what());
+  }
 }
 
 }  // namespace rtd::cli

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "common/flags.hpp"
 #include "index/index_kind.hpp"
@@ -39,5 +40,24 @@ std::optional<rt::TraversalWidth> width_flag(
     const Flags& flags,
     rt::TraversalWidth fallback = rt::TraversalWidth::kAuto,
     const char* name = "width");
+
+/// The shared `--trace <file>` flag: construct one at the top of main().
+/// When the flag is present, arms telemetry (metrics + trace spans) for the
+/// process and, on destruction, drains every recorded span into `file` as
+/// Chrome trace-event JSON (load it in chrome://tracing or
+/// ui.perfetto.dev).  In a build compiled without RTDBSCAN_TELEMETRY=ON the
+/// flag degrades to a stderr note and the binary runs untraced.  Inactive
+/// — and cost-free — when the flag is absent.
+class TraceSink {
+ public:
+  explicit TraceSink(const Flags& flags, const char* name = "trace");
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+ private:
+  std::string path_;
+  bool active_ = false;
+};
 
 }  // namespace rtd::cli

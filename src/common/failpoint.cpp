@@ -9,6 +9,7 @@
 
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rtd::fail {
 
@@ -277,6 +278,7 @@ bool hit(const char* site) {
     }
     if (!fire) return false;
     ++a.fires;
+    telemetry::count(telemetry::Counter::kFailpointFires);
     action = a.config.action;
     name = it->first;
   }

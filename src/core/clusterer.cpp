@@ -15,6 +15,7 @@
 #include "dbscan/engine.hpp"
 #include "dbscan/equivalence.hpp"
 #include "index/compacted_index.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rtd {
 
@@ -211,6 +212,19 @@ struct Clusterer::Impl {
     return pts.size() - dead_count;
   }
 
+  /// Every health transition funnels through here so the degraded/healed
+  /// counters and the health gauge can never drift from the field.
+  void set_health(SessionHealth h) noexcept {
+    if (h != health) {
+      telemetry::count(h == SessionHealth::kDegraded
+                           ? telemetry::Counter::kSessionDegradedEntered
+                           : telemetry::Counter::kSessionHealed);
+      telemetry::gauge_set(telemetry::Gauge::kSessionHealthDegraded,
+                           h == SessionHealth::kDegraded ? 1 : 0);
+    }
+    health = h;
+  }
+
   /// How many mutated slots the index may absorb in place before a fresh
   /// build: enough that per-query delta-tail scans stay cheap, scaled so
   /// big sessions amortize more mutations per build.
@@ -353,6 +367,10 @@ struct Clusterer::Impl {
           "Clusterer: no index to snapshot yet — run() or sweep() builds "
           "it (kAuto needs an eps to resolve against)");
     }
+    // Span covers only the creation slow path — the steady-state atomic
+    // load above stays untraced (and unmeasured: it is the serving fast
+    // path the overhead gate protects).
+    RTD_TRACE_SPAN("session.publish");
     // A throw here (injected or real) is harmless: nothing was published,
     // the session index is untouched, and the caller can simply retry.
     RTD_FAILPOINT("session.publish");
@@ -360,6 +378,7 @@ struct Clusterer::Impl {
         std::make_shared<const IndexSnapshot>(index, storage, pts, index_eps);
     published.store(created);
     index_shared = true;
+    telemetry::count(telemetry::Counter::kSnapshotPublishes);
     return created;
   }
 
@@ -450,6 +469,10 @@ struct Clusterer::Impl {
   /// intact (strong); a throw inside finish_run leaves the buffers torn
   /// and the session kDegraded.
   const ClusterResult& do_run(float eps, std::uint32_t min_pts) {
+    // Covers the whole run, heal re-clusters included (a heal shows up as
+    // a session.run span nested inside the mutation's wrapper span).
+    RTD_TRACE_SPAN("session.run");
+    telemetry::count(telemetry::Counter::kSessionRuns);
     ClusterResult& r = result;
     const std::size_t n = pts.size();
 
@@ -485,8 +508,9 @@ struct Clusterer::Impl {
       last_eps = eps;
       last_min_pts = min_pts;
       params_valid = true;
-      health = SessionHealth::kHealthy;
+      set_health(SessionHealth::kHealthy);
       result_current = true;  // an empty session may stream from here
+      telemetry::observe(telemetry::Histogram::kRunLatency, r.seconds);
       return r;
     }
 
@@ -522,14 +546,15 @@ struct Clusterer::Impl {
         build_membership();
       } catch (...) {
         // Labels are the new run's, members the old run's: torn.
-        health = SessionHealth::kDegraded;
+        set_health(SessionHealth::kDegraded);
         result_current = false;
         throw;
       }
       r.stats.timings.total_seconds = total.seconds();
       r.seconds = r.stats.timings.total_seconds;
-      health = SessionHealth::kHealthy;
+      set_health(SessionHealth::kHealthy);
       result_current = true;
+      telemetry::observe(telemetry::Histogram::kRunLatency, r.seconds);
       return r;
     }
 
@@ -587,12 +612,14 @@ struct Clusterer::Impl {
       // The result buffers are partially overwritten.  Committed state
       // (points, mask, counts) is coherent; only the labels are torn —
       // degrade, and let the next writer call heal by re-clustering.
-      health = SessionHealth::kDegraded;
+      set_health(SessionHealth::kDegraded);
       result_current = false;
       throw;
     }
-    health = SessionHealth::kHealthy;
+    set_health(SessionHealth::kHealthy);
     result_current = true;
+    // The histogram records exactly what RunStats reports (same Timer).
+    telemetry::observe(telemetry::Histogram::kRunLatency, r.seconds);
     return r;
   }
 
@@ -807,6 +834,7 @@ struct Clusterer::Impl {
           // that cannot absorb inserts (grid/dense-box): fresh build over
           // the live set.  Dropping index_shared releases only OUR
           // reference — snapshot readers keep the old structure alive.
+          telemetry::count(telemetry::Counter::kIndexRebuildFallbacks);
           index_shared = false;
           build_index_now(eps);
           st.index_rebuilt = true;
@@ -858,13 +886,21 @@ struct Clusterer::Impl {
     try {
       maintain_labels(first_new, eps, min_pts);
     } catch (...) {
-      health = SessionHealth::kDegraded;
+      set_health(SessionHealth::kDegraded);
       result_current = false;
       throw;
     }
 
     st.timings.total_seconds = total.seconds();
     result.seconds = st.timings.total_seconds;
+    // Same Timer that populates RunStats, so the histogram and the
+    // per-mutation stats agree sample for sample.
+    telemetry::observe(telemetry::Histogram::kMutationLatency,
+                       st.timings.total_seconds);
+    telemetry::gauge_set(telemetry::Gauge::kSessionLivePoints,
+                         static_cast<std::int64_t>(live_slots()));
+    telemetry::gauge_set(telemetry::Gauge::kSessionPendingMutations,
+                         static_cast<std::int64_t>(pending_mutations));
     return first_new;
   }
 
@@ -886,6 +922,7 @@ struct Clusterer::Impl {
   /// or persist without their members ever being queried.
   void maintain_labels(std::size_t first_new, float eps,
                        std::uint32_t min_pts) {
+    RTD_TRACE_SPAN("session.repair");
     const Timer phase_timer;
     ClusterResult& r = result;
     const std::size_t n = pts.size();
@@ -1437,15 +1474,26 @@ ClusterResult Clusterer::take_result() {
 }
 
 std::size_t Clusterer::insert(std::span<const Vec3> new_points) {
-  return impl_->mutate(new_points, {});
+  RTD_TRACE_SPAN("session.insert");
+  const std::size_t first_new = impl_->mutate(new_points, {});
+  // Counted after the return: a throwing mutation left the session
+  // untouched (or degraded — either way no batch was applied).
+  telemetry::count(telemetry::Counter::kSessionInserts);
+  telemetry::count(telemetry::Counter::kSessionPointsInserted,
+                   new_points.size());
+  return first_new;
 }
 
 void Clusterer::remove(std::span<const std::uint32_t> ids) {
+  RTD_TRACE_SPAN("session.remove");
   impl_->mutate({}, ids);
+  telemetry::count(telemetry::Counter::kSessionRemoves);
+  telemetry::count(telemetry::Counter::kSessionPointsRemoved, ids.size());
 }
 
 std::size_t Clusterer::advance(std::span<const Vec3> new_points,
                                std::size_t expire_count) {
+  RTD_TRACE_SPAN("session.advance");
   Impl& im = *impl_;
   if (expire_count > im.live_slots()) {
     throw std::invalid_argument(
@@ -1465,6 +1513,11 @@ std::size_t Clusterer::advance(std::span<const Vec3> new_points,
   }
   const std::size_t first_new = im.mutate(new_points, im.expire_scratch);
   im.oldest_live = cursor;
+  telemetry::count(telemetry::Counter::kSessionAdvances);
+  telemetry::count(telemetry::Counter::kSessionPointsInserted,
+                   new_points.size());
+  telemetry::count(telemetry::Counter::kSessionPointsRemoved,
+                   im.expire_scratch.size());
   return first_new;
 }
 
@@ -1496,11 +1549,21 @@ std::vector<ClusterResult> Clusterer::sweep(std::span<const float> eps_values,
   if (eps_values.empty()) return out;
   for (const float eps : eps_values) validate_run_params(eps, min_pts);
 
+  // The sweep span covers the whole ladder (per-entry runs nest their own
+  // session.run spans on the rerun paths); the latency histogram likewise
+  // records the full ladder wall clock, throwing sweeps included.
+  RTD_TRACE_SPAN("session.sweep");
+  telemetry::count(telemetry::Counter::kSessionSweeps);
+  const telemetry::LatencyTimer sweep_lat(telemetry::Histogram::kSweepLatency);
+
   // Triangle sessions (and trivially empty ones) sweep by plain reruns —
   // the runner already refits per step.
   if (im.opts.geometry == core::GeometryMode::kTriangles ||
       im.pts.empty()) {
-    for (const float eps : eps_values) out.push_back(run(eps, min_pts));
+    for (const float eps : eps_values) {
+      out.push_back(run(eps, min_pts));
+      telemetry::count(telemetry::Counter::kSessionSweepEntries);
+    }
     return out;
   }
 
@@ -1620,14 +1683,15 @@ std::vector<ClusterResult> Clusterer::sweep(std::span<const float> eps_values,
       im.last_eps = eps;
       im.last_min_pts = min_pts;
       im.params_valid = true;
-      im.health = SessionHealth::kHealthy;
+      im.set_health(SessionHealth::kHealthy);
       im.result_current = true;
     } catch (...) {
-      im.health = SessionHealth::kDegraded;
+      im.set_health(SessionHealth::kDegraded);
       im.result_current = false;
       throw;
     }
     out.push_back(r);
+    telemetry::count(telemetry::Counter::kSessionSweepEntries);
   }
   return out;
 }
@@ -1772,6 +1836,10 @@ bool Clusterer::counts_cached() const {
 }
 
 SessionHealth Clusterer::health() const noexcept { return impl_->health; }
+
+telemetry::MetricsSnapshot Clusterer::metrics() const {
+  return telemetry::snapshot();
+}
 
 ValidationReport Clusterer::validate(ValidationLevel level) const {
   const Impl& im = *impl_;

@@ -93,6 +93,7 @@
 #include "dbscan/core.hpp"
 #include "dsu/atomic_disjoint_set.hpp"
 #include "index/neighbor_index.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rtd {
 
@@ -509,6 +510,14 @@ class Clusterer {
   /// re-cluster (see SessionHealth).  Readers and snapshots are unaffected
   /// by a degraded writer.
   [[nodiscard]] SessionHealth health() const noexcept;
+
+  /// One coherent read of the telemetry registry (counters, gauges, latency
+  /// histograms — src/telemetry/telemetry.hpp names them all).  The
+  /// registry is PROCESS-wide, not per-session: a host serving several
+  /// sessions reads their combined activity.  All zeros when the build is
+  /// compiled without RTDBSCAN_TELEMETRY=ON or metrics were never armed
+  /// (arm via rtd::telemetry::arm() or RTDBSCAN_TELEMETRY=metrics).
+  [[nodiscard]] telemetry::MetricsSnapshot metrics() const;
 
   /// Self-audit of the session's invariants, from cheap structural checks
   /// (kQuick, O(n)) up to full oracle parity of the live clustering (kDeep).

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "rt/parallel_launch.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rtd {
 
@@ -107,6 +108,12 @@ std::vector<std::uint32_t> IndexSnapshot::query_neighbors(
 void IndexSnapshot::query_neighbors_into(
     const Vec3& center, float eps, std::uint32_t self,
     std::vector<std::uint32_t>& out) const {
+  // The read-path histogram ("what is p99 snapshot-read latency right
+  // now"): reads the clock only when metrics are armed, so the disarmed
+  // cost stays one relaxed load (bench_snapshot.sh gates it at <= 3%).
+  const telemetry::LatencyTimer lat(
+      telemetry::Histogram::kSnapshotReadLatency);
+  telemetry::count(telemetry::Counter::kSnapshotReads);
   validate_center(center);
   validate_query_eps(eps);
   out.clear();
@@ -118,6 +125,9 @@ void IndexSnapshot::query_neighbors_into(
 
 std::uint32_t IndexSnapshot::query_count(const Vec3& center, float eps,
                                          std::uint32_t self) const {
+  const telemetry::LatencyTimer lat(
+      telemetry::Histogram::kSnapshotReadLatency);
+  telemetry::count(telemetry::Counter::kSnapshotReads);
   validate_center(center);
   validate_query_eps(eps);
   std::uint32_t count = 0;
@@ -136,6 +146,12 @@ BatchQueryResult IndexSnapshot::query_batch(std::span<const Vec3> centers,
 void IndexSnapshot::query_batch_into(std::span<const Vec3> centers, float eps,
                                      int threads,
                                      BatchQueryResult& out) const {
+  // Span + histogram wrap BOTH launches from this serial boundary (never
+  // inside the parallel regions below).
+  RTD_TRACE_SPAN("snapshot.query_batch");
+  const telemetry::LatencyTimer lat(
+      telemetry::Histogram::kQueryBatchLatency);
+  telemetry::count(telemetry::Counter::kSnapshotQueryBatches);
   validate_query_eps(eps);
   // Validate every center up front: the launch lambdas below run inside a
   // parallel region, where a thrown std::invalid_argument would terminate.

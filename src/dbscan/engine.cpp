@@ -9,6 +9,7 @@
 #include "common/timer.hpp"
 #include "geom/morton.hpp"
 #include "rt/parallel_launch.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rtd::dbscan {
 
@@ -44,7 +45,10 @@ rt::LaunchStats index_phase1(const index::NeighborIndex& index,
       early_exit ? params.min_pts - 1 : index::kNoCap;
   const std::span<const geom::Vec3> points = index.points();
   // Before the launch: a throw from inside the parallel region would
-  // terminate, so faults inject at the serial boundary only.
+  // terminate, so faults inject at the serial boundary only.  The span
+  // wraps the launch from outside for the same reason.
+  RTD_TRACE_SPAN("engine.phase1");
+  telemetry::count(telemetry::Counter::kEnginePhase1Launches);
   RTD_FAILPOINT("engine.phase1");
 
   // One query per ORDER entry, not per slot: a live session passes an order
@@ -62,6 +66,8 @@ rt::LaunchStats index_phase1_remove(const index::NeighborIndex& index,
                                     std::vector<std::uint32_t>& counts,
                                     std::vector<std::uint32_t>& nbr_ids,
                                     std::vector<std::uint32_t>& nbr_starts) {
+  RTD_TRACE_SPAN("engine.phase1_remove");
+  telemetry::count(telemetry::Counter::kEnginePhase1RemoveLaunches);
   const std::span<const geom::Vec3> points = index.points();
   nbr_ids.clear();
   nbr_starts.resize(removed.size() + 1);
@@ -89,6 +95,8 @@ rt::LaunchStats index_phase1_insert(const index::NeighborIndex& index,
                                     std::vector<std::uint32_t>& counts,
                                     std::vector<std::uint32_t>& nbr_ids,
                                     std::vector<std::uint32_t>& nbr_starts) {
+  RTD_TRACE_SPAN("engine.phase1_insert");
+  telemetry::count(telemetry::Counter::kEnginePhase1InsertLaunches);
   const std::size_t n = index.size();
   const std::span<const geom::Vec3> points = index.points();
   nbr_ids.clear();
@@ -126,6 +134,8 @@ rt::LaunchStats index_phase2(const index::NeighborIndex& index, float eps,
                              std::span<std::atomic<std::uint8_t>> claimed,
                              int threads) {
   const std::span<const geom::Vec3> points = index.points();
+  RTD_TRACE_SPAN("engine.phase2");
+  telemetry::count(telemetry::Counter::kEnginePhase2Launches);
   RTD_FAILPOINT("engine.phase2");
 
   // Like phase 1: the order defines which points query (live sessions pass

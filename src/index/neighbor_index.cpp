@@ -14,8 +14,21 @@
 #include "index/grid_index.hpp"
 #include "index/point_bvh_index.hpp"
 #include "rt/parallel_launch.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rtd::index {
+
+namespace {
+
+// Shared accounting for the three absorb wrappers: one success counter, one
+// decline counter per operation (the decline counters answer "how often do
+// absorb declines force rebuilds" together with index.rebuild_fallbacks).
+void count_outcome(bool ok, telemetry::Counter accepted,
+                   telemetry::Counter declined) noexcept {
+  telemetry::count(ok ? accepted : declined);
+}
+
+}  // namespace
 
 bool NeighborIndex::try_set_eps(float eps) {
   // The ε argument is validated here, once, so a bad sweep value fails
@@ -24,8 +37,15 @@ bool NeighborIndex::try_set_eps(float eps) {
   if (!(eps > 0.0f) || !std::isfinite(eps)) {
     throw std::invalid_argument("try_set_eps: eps must be positive and finite");
   }
-  if (RTD_FAILPOINT_DECLINES("index.refit")) return false;
-  return do_try_set_eps(eps);
+  RTD_TRACE_SPAN("index.refit");
+  if (RTD_FAILPOINT_DECLINES("index.refit")) {
+    telemetry::count(telemetry::Counter::kIndexRefitsDeclined);
+    return false;
+  }
+  const bool ok = do_try_set_eps(eps);
+  count_outcome(ok, telemetry::Counter::kIndexRefits,
+                telemetry::Counter::kIndexRefitsDeclined);
+  return ok;
 }
 
 bool NeighborIndex::try_insert(std::span<const geom::Vec3> all_points,
@@ -37,8 +57,14 @@ bool NeighborIndex::try_insert(std::span<const geom::Vec3> all_points,
         "try_insert: all_points must be the current points plus an appended "
         "batch (first_new == size() <= all_points.size())");
   }
-  if (RTD_FAILPOINT_DECLINES("index.insert")) return false;
+  RTD_TRACE_SPAN("index.insert");
+  if (RTD_FAILPOINT_DECLINES("index.insert")) {
+    telemetry::count(telemetry::Counter::kIndexInsertsDeclined);
+    return false;
+  }
   const bool ok = do_try_insert(all_points, first_new);
+  count_outcome(ok, telemetry::Counter::kIndexInsertsAbsorbed,
+                telemetry::Counter::kIndexInsertsDeclined);
   // Keep the mask covering every id; new points are born live.
   if (ok && !dead_.empty()) dead_.resize(all_points.size(), 0);
   return ok;
@@ -52,9 +78,13 @@ bool NeighborIndex::try_remove(std::span<const std::uint32_t> ids) {
     }
   }
   if (ids.empty()) return true;
+  RTD_TRACE_SPAN("index.remove");
   // Before the mask mutates: a decline here leaves the index untouched, like
   // a backend that cannot absorb the removal batch.
-  if (RTD_FAILPOINT_DECLINES("index.remove")) return false;
+  if (RTD_FAILPOINT_DECLINES("index.remove")) {
+    telemetry::count(telemetry::Counter::kIndexRemovesDeclined);
+    return false;
+  }
   if (dead_.size() != n) dead_.resize(n, 0);
   for (const std::uint32_t id : ids) {
     if (dead_[id] == 0) {
@@ -65,7 +95,10 @@ bool NeighborIndex::try_remove(std::span<const std::uint32_t> ids) {
   has_dead_ = true;
   // The mask is set BEFORE the hook so a masked refit inside it sees the
   // whole batch; on a false return the caller discards the index anyway.
-  return do_try_remove(ids);
+  const bool ok = do_try_remove(ids);
+  count_outcome(ok, telemetry::Counter::kIndexRemovesAbsorbed,
+                telemetry::Counter::kIndexRemovesDeclined);
+  return ok;
 }
 
 std::uint32_t NeighborIndex::query_count(const geom::Vec3& center, float eps,
@@ -133,6 +166,8 @@ std::unique_ptr<NeighborIndex> make_index(std::span<const geom::Vec3> points,
     throw std::invalid_argument("make_index: eps must be positive");
   }
   if (kind == IndexKind::kAuto) kind = choose_index_kind(points, eps);
+  RTD_TRACE_SPAN("index.build");
+  telemetry::count(telemetry::Counter::kIndexBuilds);
   RTD_FAILPOINT("index.build");
   // Honor the requested build parallelism (the tree backends build with
   // parallel_for / parallel builders).

@@ -1,0 +1,19 @@
+// Seeded violation: RTD_TRACE_SPAN inside an OpenMP parallel region.
+// Standalone stub so the fixture needs no real telemetry header.
+#define RTD_TRACE_SPAN(site) \
+  do {                       \
+  } while (false)
+
+int work(int n) {
+  int sum = 0;
+#pragma omp parallel
+  {
+    RTD_TRACE_SPAN("fixture.braced");  // VIOLATION: span on a worker thread
+    sum += n;
+  }
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i)
+    RTD_TRACE_SPAN("fixture.single_stmt");  // VIOLATION: single-statement body
+  RTD_TRACE_SPAN("fixture.serial");  // fine: serial boundary
+  return sum;
+}

@@ -16,6 +16,7 @@
 #include "data/generators.hpp"
 #include "index/neighbor_index.hpp"
 #include "index/query_scratch.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_live_allocations{0};
@@ -232,6 +233,46 @@ TEST(QueryAllocation, FailpointSitesAddNoAllocationsToWarmPaths) {
   EXPECT_EQ(during, 0u)
       << (fail::compiled_in() ? "unarmed failpoints-ON build allocated"
                               : "compiled-out failpoint macro allocated");
+}
+
+TEST(QueryAllocation, TelemetrySitesAddNoAllocationsToWarmPaths) {
+  // The observability instrumentation (telemetry/telemetry.hpp) carries the
+  // same contract as the failpoints: compiled out the macros and update
+  // calls expand to nothing, compiled in but disarmed each site is one
+  // relaxed atomic load — allocation-free either way once the lazy env
+  // parse has run (warmed below).
+  telemetry::count(telemetry::Counter::kSessionRuns);  // warm: env parse
+  const std::uint64_t disarmed = allocations_during([] {
+    for (int i = 0; i < 4096; ++i) {
+      telemetry::count(telemetry::Counter::kSnapshotReads);
+      telemetry::gauge_set(telemetry::Gauge::kSessionLivePoints, i);
+      telemetry::observe(telemetry::Histogram::kSnapshotReadLatency, 1e-6);
+      RTD_TRACE_SPAN("session.run");
+    }
+  });
+  EXPECT_EQ(disarmed, 0u)
+      << (telemetry::compiled_in() ? "disarmed telemetry-ON build allocated"
+                                   : "compiled-out telemetry site allocated");
+
+  // Armed, the metric updates are relaxed RMWs into fixed arrays and a span
+  // pushes into this thread's ring — preallocated at the first span (the
+  // one cold allocation per thread, warmed below), so the armed warm path
+  // is zero-allocation too.
+  if (telemetry::compiled_in()) {
+    telemetry::arm(telemetry::kMetrics | telemetry::kTrace);
+    { RTD_TRACE_SPAN("session.run"); }  // warm: ring preallocation
+    const std::uint64_t armed = allocations_during([] {
+      for (int i = 0; i < 4096; ++i) {
+        telemetry::count(telemetry::Counter::kSnapshotReads);
+        telemetry::gauge_set(telemetry::Gauge::kSessionLivePoints, i);
+        telemetry::observe(telemetry::Histogram::kSnapshotReadLatency, 1e-6);
+        RTD_TRACE_SPAN("session.run");
+      }
+    });
+    EXPECT_EQ(armed, 0u) << "armed telemetry warm path allocated";
+    telemetry::disarm_all();
+    telemetry::reset();
+  }
 }
 
 TEST(QueryAllocation, ScratchArenaReusesCapacity) {
